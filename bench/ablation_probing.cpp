@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Ablation (§III-E, §VI): TDRAM with early tag probing disabled.
+ * Paper: TDRAM-without-probing behaves like NDC in both tag-check
+ * latency and overall performance, and probing improves tag-check
+ * latency by up to 70% on large high-miss workloads.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tsim;
+    const bench::Options opts = bench::parseArgs(argc, argv);
+    bench::RunCache runs(opts);
+
+    std::printf("Probing ablation: tag check (ns) and runtime (us)\n");
+    std::printf("%-9s | %9s %9s %9s | %9s %9s %9s | %9s\n",
+                "workload", "TDRAM", "noProbe", "NDC", "TDRAM",
+                "noProbe", "NDC", "probes");
+    std::vector<double> td_tc, np_tc, td_rt, np_rt;
+    for (const auto &wl : bench::workloadSet(opts)) {
+        const auto &td = runs.get(Design::Tdram, wl);
+        const auto &np = runs.get(Design::TdramNoProbe, wl);
+        const auto &ndc = runs.get(Design::Ndc, wl);
+        td_tc.push_back(td.tagCheckNs);
+        np_tc.push_back(np.tagCheckNs);
+        td_rt.push_back(static_cast<double>(td.runtimeTicks));
+        np_rt.push_back(static_cast<double>(np.runtimeTicks));
+        std::printf(
+            "%-9s | %9.2f %9.2f %9.2f | %9.1f %9.1f %9.1f | %9llu\n",
+            wl.name.c_str(), td.tagCheckNs, np.tagCheckNs,
+            ndc.tagCheckNs, td.runtimeNs() / 1e3, np.runtimeNs() / 1e3,
+            ndc.runtimeNs() / 1e3, (unsigned long long)td.probes);
+    }
+    std::printf("\nprobing improves tag check by %.1f%% (geomean); "
+                "runtime by %.3fx\n",
+                (1.0 - bench::geomeanRatio(td_tc, np_tc)) * 100.0,
+                bench::geomeanRatio(np_rt, td_rt));
+    std::printf("paper: up to 70%% tag-check improvement on large "
+                "high-miss workloads; TDRAM-noprobe ~= NDC.\n");
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure/table benchmark harnesses:
+ * command-line handling (--full for all 28 workloads, --ops N),
+ * cached per-(design, workload) runs, and geomean helpers.
+ */
+
+#ifndef TSIM_BENCH_BENCH_COMMON_HH
+#define TSIM_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "system/system.hh"
+
+namespace bench
+{
+
+/** Parsed benchmark options. */
+struct Options
+{
+    bool full = false;            ///< all 28 workloads vs quick set
+    std::uint64_t opsPerCore = 8000;
+    std::uint64_t warmupOpsPerCore = 150000;
+    std::uint64_t seed = 1;
+};
+
+inline Options
+parseArgs(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--full") == 0) {
+            o.full = true;
+            o.opsPerCore = 40000;
+        } else if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
+            o.opsPerCore = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--warmup") == 0 &&
+                   i + 1 < argc) {
+            o.warmupOpsPerCore = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            o.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--full] [--ops N] [--warmup N] "
+                         "[--seed N]\n",
+                         argv[0]);
+            std::exit(1);
+        }
+    }
+    return o;
+}
+
+inline std::vector<tsim::WorkloadProfile>
+workloadSet(const Options &o)
+{
+    return o.full ? tsim::allWorkloads()
+                  : tsim::representativeWorkloads();
+}
+
+inline tsim::SystemConfig
+baseConfig(const Options &o, tsim::Design d)
+{
+    tsim::SystemConfig cfg;
+    cfg.design = d;
+    cfg.cores.opsPerCore = o.opsPerCore;
+    cfg.warmupOpsPerCore = o.warmupOpsPerCore;
+    cfg.seed = o.seed;
+    return cfg;
+}
+
+/** Run (or fetch the cached run of) one design/workload pair. */
+class RunCache
+{
+  public:
+    explicit RunCache(const Options &o) : _opts(o) {}
+
+    const tsim::SimReport &
+    get(tsim::Design d, const tsim::WorkloadProfile &wl)
+    {
+        const std::string key =
+            std::string(tsim::designName(d)) + "/" + wl.name;
+        auto it = _runs.find(key);
+        if (it != _runs.end())
+            return it->second;
+        tsim::SystemConfig cfg = baseConfig(_opts, d);
+        auto [pos, ok] = _runs.emplace(key, tsim::runOne(cfg, wl));
+        (void)ok;
+        return pos->second;
+    }
+
+  private:
+    Options _opts;
+    std::map<std::string, tsim::SimReport> _runs;
+};
+
+/** Geomean of per-workload ratios base/x (speedups). */
+inline double
+geomeanRatio(const std::vector<double> &base,
+             const std::vector<double> &x)
+{
+    std::vector<double> r;
+    for (std::size_t i = 0; i < base.size(); ++i)
+        r.push_back(base[i] / x[i]);
+    return tsim::geomean(r);
+}
+
+} // namespace bench
+
+#endif // TSIM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 4A / §III-C5: TDRAM's hardware cost — the signal-count
+ * table and the die-area estimate, computed from the overhead model
+ * rather than hard-coded, so the derivation is auditable.
+ */
+
+#include <cstdio>
+
+#include "tdram/overhead.hh"
+
+int
+main()
+{
+    using namespace tsim;
+
+    const InterfaceSignals hbm = hbm3Signals();
+    const InterfaceSignals td = tdramSignals();
+
+    std::printf("Figure 4A: interface signal counts\n");
+    std::printf("%-22s %10s %10s\n", "", "HBM3", "TDRAM");
+    std::printf("%-22s %10u %10u\n", "channels", hbm.channels,
+                td.channels);
+    std::printf("%-22s %10u %10u\n", "DQ / channel", hbm.dqPerChannel,
+                td.dqPerChannel);
+    std::printf("%-22s %10u %10u\n", "CA / channel", hbm.caPerChannel,
+                td.caPerChannel);
+    std::printf("%-22s %10u %10u\n", "HM / channel", hbm.hmPerChannel,
+                td.hmPerChannel);
+    std::printf("%-22s %10u %10u\n", "aux / channel",
+                hbm.auxPerChannel, td.auxPerChannel);
+    std::printf("%-22s %10u %10u\n", "global", hbm.globalSignals,
+                td.globalSignals);
+    std::printf("%-22s %10u %10u\n", "total", hbm.total(), td.total());
+    std::printf("\nextra signals: %u (paper: 192; fits the 320 spare "
+                "bump sites)\n",
+                tdramExtraSignals());
+    std::printf("signal increase: %.1f%% (paper: 9.7%%)\n",
+                tdramSignalIncrease() * 100.0);
+
+    const AreaModel area;
+    std::printf("\nSec III-C5: die-area estimate\n");
+    std::printf("  tag-mat overhead        %5.1f%%\n",
+                area.tagMatOverhead * 100.0);
+    std::printf("  x even-bank fraction    %5.1f%%\n",
+                area.evenBankFraction * 100.0);
+    std::printf("  x bank area fraction    %5.1f%%\n",
+                area.bankAreaFraction * 100.0);
+    std::printf("  + routing               %5.2f%%\n",
+                area.routingOverhead * 100.0);
+    std::printf("  = die-area impact       %5.2f%%  (paper: 8.24%%)\n",
+                area.dieAreaImpact() * 100.0);
+
+    std::printf("\ntag storage: 64 GiB cache -> %llu GiB tags; 1 PB "
+                "space -> %u tag bits\n",
+                TagStorage::tagBytes(64ULL << 30) >> 30,
+                TagStorage::tagBits(64ULL << 30, 1ULL << 50));
+    return 0;
+}

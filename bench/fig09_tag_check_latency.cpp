@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 9: average tag-check latency per design (queue occupancy +
+ * tag access + compare + result transfer, measured at the
+ * controller). Paper: TDRAM is 2.6x / 2.65x / 2x / 1.82x faster
+ * than CascadeLake / Alloy / BEAR / NDC.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tsim;
+    const bench::Options opts = bench::parseArgs(argc, argv);
+    bench::RunCache runs(opts);
+
+    const Design designs[] = {Design::CascadeLake, Design::Alloy,
+                              Design::Bear, Design::Ndc,
+                              Design::Tdram};
+
+    std::printf("Figure 9: tag check latency (ns), lower is better\n");
+    std::printf("%-9s %10s %10s %10s %10s %10s\n", "workload",
+                "CascLake", "Alloy", "BEAR", "NDC", "TDRAM");
+    std::vector<double> lat[5];
+    for (const auto &wl : bench::workloadSet(opts)) {
+        std::printf("%-9s", wl.name.c_str());
+        for (int i = 0; i < 5; ++i) {
+            const double v = runs.get(designs[i], wl).tagCheckNs;
+            lat[i].push_back(v);
+            std::printf(" %10.2f", v);
+        }
+        std::printf("\n");
+    }
+    std::printf("\nTDRAM speedup of tag check (geomean):\n");
+    const char *names[] = {"CascadeLake", "Alloy", "BEAR", "NDC"};
+    const double paper[] = {2.6, 2.65, 2.0, 1.82};
+    for (int i = 0; i < 4; ++i) {
+        std::printf("  vs %-12s %5.2fx   (paper: %.2fx)\n", names[i],
+                    bench::geomeanRatio(lat[i], lat[4]), paper[i]);
+    }
+    return 0;
+}

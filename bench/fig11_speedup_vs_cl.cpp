@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 11: system speedup normalized to CascadeLake. Paper
+ * geomeans: TDRAM 1.20x vs CascadeLake, 1.23x vs Alloy, 1.13x vs
+ * BEAR, 1.08x vs NDC; Ideal is the upper bound TDRAM approaches.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tsim;
+    const bench::Options opts = bench::parseArgs(argc, argv);
+    bench::RunCache runs(opts);
+
+    const Design designs[] = {Design::Alloy, Design::Bear,
+                              Design::Ndc,   Design::Tdram,
+                              Design::Ideal};
+
+    std::printf(
+        "Figure 11: speedup normalized to CascadeLake, higher is "
+        "better\n");
+    std::printf("%-9s %9s %9s %9s %9s %9s\n", "workload", "Alloy",
+                "BEAR", "NDC", "TDRAM", "Ideal");
+    std::vector<double> cl_rt;
+    std::vector<double> rt[5];
+    for (const auto &wl : bench::workloadSet(opts)) {
+        const double base = static_cast<double>(
+            runs.get(Design::CascadeLake, wl).runtimeTicks);
+        cl_rt.push_back(base);
+        std::printf("%-9s", wl.name.c_str());
+        for (int i = 0; i < 5; ++i) {
+            const double t = static_cast<double>(
+                runs.get(designs[i], wl).runtimeTicks);
+            rt[i].push_back(t);
+            std::printf(" %9.3f", base / t);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-9s", "(geomean)");
+    for (auto &t : rt)
+        std::printf(" %9.3f", bench::geomeanRatio(cl_rt, t));
+    std::printf("\n\nTDRAM speedup over each design (geomean):\n");
+    const char *names[] = {"Alloy", "BEAR", "NDC"};
+    const double paper[] = {1.23, 1.13, 1.08};
+    for (int i = 0; i < 3; ++i) {
+        std::printf("  vs %-6s %5.3fx   (paper: %.2fx)\n", names[i],
+                    bench::geomeanRatio(rt[i], rt[3]), paper[i]);
+    }
+    std::printf("  vs %-6s %5.3fx   (paper: 1.20x)\n", "CascLk",
+                bench::geomeanRatio(cl_rt, rt[3]));
+    return 0;
+}

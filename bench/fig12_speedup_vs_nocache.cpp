@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 12: speedup normalized to a system with main memory only.
+ * Paper geomeans: CascadeLake 0.92x (8% slowdown), Alloy 0.90x,
+ * BEAR 0.98x, NDC 1.03x, TDRAM 1.11x — i.e., existing DRAM caches
+ * can *hurt*, TDRAM helps.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tsim;
+    const bench::Options opts = bench::parseArgs(argc, argv);
+    bench::RunCache runs(opts);
+
+    const Design designs[] = {Design::CascadeLake, Design::Alloy,
+                              Design::Bear, Design::Ndc,
+                              Design::Tdram};
+
+    std::printf(
+        "Figure 12: speedup vs no-DRAM-cache, higher is better\n");
+    std::printf("%-9s %6s | %9s %9s %9s %9s %9s\n", "workload", "grp",
+                "CascLake", "Alloy", "BEAR", "NDC", "TDRAM");
+    std::vector<double> base_rt;
+    std::vector<double> rt[5];
+    for (const auto &wl : bench::workloadSet(opts)) {
+        const double base = static_cast<double>(
+            runs.get(Design::NoCache, wl).runtimeTicks);
+        base_rt.push_back(base);
+        std::printf("%-9s %6s |", wl.name.c_str(),
+                    wl.highMiss ? "high" : "low");
+        for (int i = 0; i < 5; ++i) {
+            const double t = static_cast<double>(
+                runs.get(designs[i], wl).runtimeTicks);
+            rt[i].push_back(t);
+            std::printf(" %9.3f", base / t);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-16s |", "(geomean)");
+    for (auto &t : rt)
+        std::printf(" %9.3f", bench::geomeanRatio(base_rt, t));
+    std::printf("\n\npaper geomeans: 0.92, 0.90, 0.98, 1.03, 1.11 — "
+                "low-miss workloads gain, high-miss workloads can "
+                "lose.\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 13: relative energy (power x runtime) normalized to
+ * CascadeLake. Paper: TDRAM saves 21% vs CascadeLake and 12% vs
+ * BEAR (geomean); Alloy is much worse than CascadeLake; NDC is the
+ * same as TDRAM (both move the same bytes).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tsim;
+    const bench::Options opts = bench::parseArgs(argc, argv);
+    bench::RunCache runs(opts);
+
+    const Design designs[] = {Design::Alloy, Design::Bear,
+                              Design::Ndc, Design::Tdram};
+
+    std::printf(
+        "Figure 13: energy normalized to CascadeLake, lower is "
+        "better\n");
+    std::printf("%-9s %9s %9s %9s %9s\n", "workload", "Alloy", "BEAR",
+                "NDC", "TDRAM");
+    std::vector<double> cl_e;
+    std::vector<double> e[4];
+    for (const auto &wl : bench::workloadSet(opts)) {
+        const double base =
+            runs.get(Design::CascadeLake, wl).energy.totalJ();
+        cl_e.push_back(base);
+        std::printf("%-9s", wl.name.c_str());
+        for (int i = 0; i < 4; ++i) {
+            const double v = runs.get(designs[i], wl).energy.totalJ();
+            e[i].push_back(v);
+            std::printf(" %9.3f", v / base);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-9s", "(geomean)");
+    for (auto &v : e)
+        std::printf(" %9.3f", bench::geomeanRatio(v, cl_e));
+    std::printf("\n\nTDRAM energy saving (geomean): %.1f%% vs "
+                "CascadeLake (paper 21%%), %.1f%% vs BEAR (paper "
+                "12%%)\n",
+                (1.0 - bench::geomeanRatio(e[3], cl_e)) * 100.0,
+                (1.0 - bench::geomeanRatio(e[3], e[1])) * 100.0);
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * §V-E: flush-buffer size sensitivity (8/16/32/64 entries). Paper:
+ * the buffer essentially never fills (a handful of stalls at size 8
+ * on lu), average occupancy ~5 and maximum ~12 across the study;
+ * 16 entries suffice. Most unloading happens in read-miss-clean DQ
+ * slots, with refresh windows covering write-heavy phases.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tsim;
+    const bench::Options opts = bench::parseArgs(argc, argv);
+
+    std::printf("SecV-E: TDRAM flush-buffer sensitivity\n");
+    std::printf("%-9s %7s | %8s %8s %8s | %10s %10s %10s\n",
+                "workload", "entries", "stalls", "maxOcc", "avgOcc",
+                "drainMisC", "drainRefr", "drainForc");
+    for (const auto &wl : bench::workloadSet(opts)) {
+        if (!wl.highMiss && wl.storeFraction < 0.3)
+            continue;  // buffer pressure needs dirty traffic
+        for (unsigned entries : {8u, 16u, 32u, 64u}) {
+            SystemConfig cfg = bench::baseConfig(opts, Design::Tdram);
+            cfg.flushEntries = entries;
+            System sys(cfg, wl);
+            const SimReport r = sys.run();
+            double mc = 0, rf = 0, fc = 0;
+            for (unsigned c = 0; c < sys.dcache().numChannels();
+                 ++c) {
+                const auto &fb = sys.dcache().channel(c).flushBuffer();
+                mc += fb.drainedOnMissClean.value();
+                rf += fb.drainedOnRefresh.value();
+                fc += fb.drainedForced.value();
+            }
+            std::printf(
+                "%-9s %7u | %8llu %8.0f %8.2f | %10.0f %10.0f "
+                "%10.0f\n",
+                wl.name.c_str(), entries,
+                (unsigned long long)r.flushStalls, r.flushMaxOcc,
+                r.flushAvgOcc, mc, rf, fc);
+        }
+    }
+    std::printf("\npaper: avg occupancy ~5, max ~12; 16 entries "
+                "prevent all stalls; most unloading uses "
+                "read-miss-clean slots.\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * §V-F: set-associative TDRAM. Paper: the HPC workloads have
+ * negligible conflict misses, so direct-mapped and 2/4/8/16-way
+ * caches achieve similar speedups (over main memory only).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tsim;
+    const bench::Options opts = bench::parseArgs(argc, argv);
+    bench::RunCache runs(opts);
+
+    std::printf("SecV-F: set-associative TDRAM, speedup vs "
+                "no-DRAM-cache\n");
+    std::printf("%-9s %9s %9s %9s %9s %9s | %8s\n", "workload",
+                "1-way", "2-way", "4-way", "8-way", "16-way",
+                "missR(1w)");
+    const unsigned ways[] = {1, 2, 4, 8, 16};
+    std::vector<double> per_way[5], base_rt;
+    for (const auto &wl : bench::workloadSet(opts)) {
+        const double base = static_cast<double>(
+            runs.get(Design::NoCache, wl).runtimeTicks);
+        base_rt.push_back(base);
+        std::printf("%-9s", wl.name.c_str());
+        double miss1 = 0;
+        for (int i = 0; i < 5; ++i) {
+            SystemConfig cfg = bench::baseConfig(opts, Design::Tdram);
+            cfg.dcacheWays = ways[i];
+            const SimReport r = runOne(cfg, wl);
+            per_way[i].push_back(static_cast<double>(r.runtimeTicks));
+            if (i == 0)
+                miss1 = r.missRatio;
+            std::printf(" %9.3f",
+                        base / static_cast<double>(r.runtimeTicks));
+        }
+        std::printf(" | %8.3f\n", miss1);
+    }
+    std::printf("%-9s", "(geomean)");
+    for (auto &w : per_way)
+        std::printf(" %9.3f", bench::geomeanRatio(base_rt, w));
+    std::printf("\n\npaper: all associativities perform similarly — "
+                "conflict misses are negligible in these workloads.\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table IV: bandwidth bloat factor (total DRAM-cache bytes moved /
+ * demand-serving bytes), geomean over the low- and high-miss-ratio
+ * workload groups, plus TDRAM's reduction w.r.t. each design.
+ *
+ * Paper values: CascadeLake 1.35/2.75, Alloy 1.68/3.43,
+ * BEAR 1.41/2.40, NDC = TDRAM 1.13/2.06.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tsim;
+    const bench::Options opts = bench::parseArgs(argc, argv);
+    bench::RunCache runs(opts);
+
+    const Design designs[] = {Design::CascadeLake, Design::Alloy,
+                              Design::Bear, Design::Ndc,
+                              Design::Tdram};
+    const char *names[] = {"Cascade Lake", "Alloy", "BEAR", "NDC",
+                           "TDRAM"};
+    const double paper_low[] = {1.35, 1.68, 1.41, 1.13, 1.13};
+    const double paper_high[] = {2.75, 3.43, 2.40, 2.06, 2.06};
+
+    std::vector<double> low[5], high[5];
+    for (const auto &wl : bench::workloadSet(opts)) {
+        for (int i = 0; i < 5; ++i) {
+            const double b = runs.get(designs[i], wl).bloat;
+            (wl.highMiss ? high[i] : low[i]).push_back(b);
+        }
+    }
+
+    std::printf("Table IV: bandwidth bloat factor (geomean)\n");
+    std::printf("%-14s %10s %10s %12s %12s\n", "design", "low-miss",
+                "high-miss", "paper(low)", "paper(high)");
+    double g_low[5], g_high[5];
+    for (int i = 0; i < 5; ++i) {
+        g_low[i] = geomean(low[i]);
+        g_high[i] = geomean(high[i]);
+        std::printf("%-14s %10.2f %10.2f %12.2f %12.2f\n", names[i],
+                    g_low[i], g_high[i], paper_low[i], paper_high[i]);
+    }
+
+    std::printf("\nTDRAM reductions:\n");
+    std::printf("%-18s %10s %10s\n", "w.r.t.", "low-miss",
+                "high-miss");
+    for (int i = 0; i < 4; ++i) {
+        std::printf("%-18s %9.1f%% %9.1f%%\n", names[i],
+                    (1.0 - g_low[4] / g_low[i]) * 100.0,
+                    (1.0 - g_high[4] / g_high[i]) * 100.0);
+    }
+    std::printf("\npaper reductions: CL 16.3/25.1%%, Alloy "
+                "32.7/39.9%%, BEAR 14.2/19.9%%, NDC 0/0%%.\n");
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Design explorer: run one workload on one design and dump the full
+ * statistics tree plus the access-outcome breakdown — the tool to
+ * reach for when a number in a benchmark looks surprising.
+ *
+ * Usage: design_explorer [workload] [design] [opsPerCore]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "system/system.hh"
+
+namespace
+{
+
+tsim::Design
+parseDesign(const std::string &s)
+{
+    using tsim::Design;
+    const Design all[] = {Design::CascadeLake, Design::Alloy,
+                          Design::Bear,        Design::Ndc,
+                          Design::Tdram,       Design::TdramNoProbe,
+                          Design::Ideal,       Design::NoCache};
+    for (Design d : all) {
+        if (s == tsim::designName(d))
+            return d;
+    }
+    std::fprintf(stderr, "unknown design '%s'\n", s.c_str());
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tsim;
+
+    const std::string wl_name = argc > 1 ? argv[1] : "ft.C";
+    const std::string design = argc > 2 ? argv[2] : "TDRAM";
+    const std::uint64_t ops =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 20000;
+
+    SystemConfig cfg;
+    cfg.design = parseDesign(design);
+    cfg.cores.opsPerCore = ops;
+
+    System sys(cfg, findWorkload(wl_name));
+    SimReport r = sys.run();
+
+    std::printf("== %s on %s ==\n", r.design.c_str(),
+                r.workload.c_str());
+    std::printf("runtime          %.1f us\n", r.runtimeNs() / 1e3);
+    std::printf("demands          %llu reads, %llu writes\n",
+                (unsigned long long)r.demandReads,
+                (unsigned long long)r.demandWrites);
+    std::printf("miss ratio       %.3f\n", r.missRatio);
+    std::printf("tag check        %.2f ns\n", r.tagCheckNs);
+    std::printf("read q delay     %.2f ns\n", r.readQueueDelayNs);
+    std::printf("read latency     %.2f ns\n", r.demandReadLatencyNs);
+    std::printf("bloat factor     %.2f (unuseful %.1f%%)\n", r.bloat,
+                r.unusefulFrac * 100);
+    std::printf("energy           %.3f mJ (cache %.3f, mm %.3f)\n",
+                r.energy.totalJ() * 1e3, r.energy.cacheJ() * 1e3,
+                r.energy.mmJ() * 1e3);
+    std::printf("flush buffer     max %.0f, avg %.1f, stalls %llu\n",
+                r.flushMaxOcc, r.flushAvgOcc,
+                (unsigned long long)r.flushStalls);
+    std::printf("probes           %llu\n", (unsigned long long)r.probes);
+    std::printf("\noutcome breakdown:\n");
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(AccessOutcome::NumOutcomes); ++i) {
+        if (r.outcomeFrac[i] > 0) {
+            std::printf("  %-20s %6.2f%%\n",
+                        outcomeName(static_cast<AccessOutcome>(i)),
+                        r.outcomeFrac[i] * 100);
+        }
+    }
+    std::printf("\nfull statistics:\n");
+    sys.dumpStats(std::cout);
+    return 0;
+}

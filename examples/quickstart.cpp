@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Quickstart: build one system per DRAM-cache design, run a single
+ * workload, and print the headline metrics the paper reports.
+ *
+ * Usage: quickstart [workload] [opsPerCore]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "system/system.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tsim;
+
+    const std::string wl_name = argc > 1 ? argv[1] : "ft.C";
+    const std::uint64_t ops =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20000;
+
+    const WorkloadProfile &wl = findWorkload(wl_name);
+    std::printf("workload %s (footprint %.2fx cache, %s miss group)\n\n",
+                wl.name.c_str(), wl.footprintScale,
+                wl.highMiss ? "high" : "low");
+    std::printf("%-14s %10s %9s %9s %9s %8s %8s\n", "design",
+                "runtime_us", "missR", "tagChkNs", "rdLatNs", "bloat",
+                "energy_mJ");
+
+    const Design designs[] = {Design::NoCache,  Design::CascadeLake,
+                              Design::Alloy,    Design::Bear,
+                              Design::Ndc,      Design::Tdram,
+                              Design::Ideal};
+    for (Design d : designs) {
+        SystemConfig cfg;
+        cfg.design = d;
+        cfg.cores.opsPerCore = ops;
+        SimReport r = runOne(cfg, wl);
+        std::printf("%-14s %10.1f %9.3f %9.2f %9.2f %8.2f %8.3f\n",
+                    r.design.c_str(), r.runtimeNs() / 1000.0,
+                    r.missRatio, r.tagCheckNs, r.demandReadLatencyNs,
+                    r.bloat, r.energy.totalJ() * 1e3);
+    }
+    return 0;
+}

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * tdram_cli — command-line driver for the simulator.
+ *
+ *   tdram_cli list
+ *       Show the 28 workload profiles.
+ *   tdram_cli run <workload> <design> [options]
+ *       One simulation; prints the report (add --stats for the full
+ *       statistics tree, --csv for machine-readable output).
+ *   tdram_cli compare <workload> [options]
+ *       Every design on one workload, one row each.
+ *   tdram_cli sweep <workload> <design> <param> <v1,v2,...> [options]
+ *       Parameter sweep; param in {capacity_mib, ways, flush,
+ *       channels, mlp, prefetch}. CSV to stdout.
+ *
+ * Common options: --ops N, --warmup N, --seed N, --capacity MiB,
+ * --ways W, --no-probe, --open-page, --predictor.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "system/system.hh"
+
+namespace
+{
+
+using namespace tsim;
+
+struct CliOptions
+{
+    std::uint64_t ops = 8000;
+    std::uint64_t warmup = 150000;
+    std::uint64_t seed = 1;
+    std::uint64_t capacityMib = 16;
+    unsigned ways = 1;
+    bool noProbe = false;
+    bool openPage = false;
+    bool predictor = false;
+    bool fullStats = false;
+    bool csv = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: tdram_cli <list|run|compare|sweep> [args] [options]\n"
+        "  run <workload> <design>\n"
+        "  compare <workload>\n"
+        "  sweep <workload> <design> <param> <v1,v2,...>\n"
+        "options: --ops N --warmup N --seed N --capacity MiB\n"
+        "         --ways W --no-probe --open-page --predictor\n"
+        "         --stats --csv\n");
+    std::exit(1);
+}
+
+CliOptions
+parseOptions(int argc, char **argv, int first)
+{
+    CliOptions o;
+    for (int i = first; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::uint64_t {
+            if (i + 1 >= argc)
+                usage();
+            return std::strtoull(argv[++i], nullptr, 10);
+        };
+        if (a == "--ops") {
+            o.ops = next();
+        } else if (a == "--warmup") {
+            o.warmup = next();
+        } else if (a == "--seed") {
+            o.seed = next();
+        } else if (a == "--capacity") {
+            o.capacityMib = next();
+        } else if (a == "--ways") {
+            o.ways = static_cast<unsigned>(next());
+        } else if (a == "--no-probe") {
+            o.noProbe = true;
+        } else if (a == "--open-page") {
+            o.openPage = true;
+        } else if (a == "--predictor") {
+            o.predictor = true;
+        } else if (a == "--stats") {
+            o.fullStats = true;
+        } else if (a == "--csv") {
+            o.csv = true;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            usage();
+        }
+    }
+    return o;
+}
+
+Design
+parseDesign(const std::string &s)
+{
+    const Design all[] = {Design::CascadeLake, Design::Alloy,
+                          Design::Bear,        Design::Ndc,
+                          Design::Tdram,       Design::TdramNoProbe,
+                          Design::Ideal,       Design::NoCache};
+    for (Design d : all) {
+        if (s == designName(d))
+            return d;
+    }
+    std::fprintf(stderr, "unknown design '%s'; one of:", s.c_str());
+    for (Design d : all)
+        std::fprintf(stderr, " %s", designName(d));
+    std::fprintf(stderr, "\n");
+    std::exit(1);
+}
+
+SystemConfig
+makeConfig(const CliOptions &o, Design d)
+{
+    SystemConfig cfg;
+    cfg.design = o.noProbe && d == Design::Tdram
+                     ? Design::TdramNoProbe
+                     : d;
+    cfg.dcacheCapacity = o.capacityMib << 20;
+    cfg.dcacheWays = o.ways;
+    cfg.predictor = o.predictor;
+    cfg.dcachePagePolicy =
+        o.openPage ? PagePolicy::Open : PagePolicy::Close;
+    cfg.cores.opsPerCore = o.ops;
+    cfg.warmupOpsPerCore = o.warmup;
+    cfg.seed = o.seed;
+    return cfg;
+}
+
+void
+printCsvHeader()
+{
+    std::printf("workload,design,runtime_us,miss_ratio,tag_check_ns,"
+                "read_q_delay_ns,read_latency_ns,bloat,unuseful_frac,"
+                "energy_mj,probes,flush_stalls\n");
+}
+
+void
+printCsvRow(const SimReport &r)
+{
+    std::printf("%s,%s,%.2f,%.4f,%.2f,%.2f,%.2f,%.3f,%.4f,%.4f,"
+                "%llu,%llu\n",
+                r.workload.c_str(), r.design.c_str(),
+                r.runtimeNs() / 1e3, r.missRatio, r.tagCheckNs,
+                r.readQueueDelayNs, r.demandReadLatencyNs, r.bloat,
+                r.unusefulFrac, r.energy.totalJ() * 1e3,
+                (unsigned long long)r.probes,
+                (unsigned long long)r.flushStalls);
+}
+
+void
+printHuman(const SimReport &r)
+{
+    std::printf("%s on %s\n", r.design.c_str(), r.workload.c_str());
+    std::printf("  runtime        %10.1f us\n", r.runtimeNs() / 1e3);
+    std::printf("  demands        %10llu reads, %llu writes\n",
+                (unsigned long long)r.demandReads,
+                (unsigned long long)r.demandWrites);
+    std::printf("  miss ratio     %10.3f  (%s group)\n", r.missRatio,
+                r.highMiss ? "high" : "low");
+    std::printf("  tag check      %10.2f ns\n", r.tagCheckNs);
+    std::printf("  read q delay   %10.2f ns\n", r.readQueueDelayNs);
+    std::printf("  read latency   %10.2f ns\n", r.demandReadLatencyNs);
+    std::printf("  bloat          %10.2f  (unuseful %.1f%%)\n",
+                r.bloat, r.unusefulFrac * 100);
+    std::printf("  energy         %10.3f mJ\n",
+                r.energy.totalJ() * 1e3);
+    if (r.probes)
+        std::printf("  probes         %10llu\n",
+                    (unsigned long long)r.probes);
+}
+
+int
+cmdList()
+{
+    std::printf("%-9s %-7s %-9s %9s %7s %6s %6s\n", "workload",
+                "suite", "kind", "footprint", "store%", "alpha",
+                "group");
+    for (const auto &w : allWorkloads()) {
+        const char *kind =
+            w.kind == GenKind::Stream    ? "stream"
+            : w.kind == GenKind::Random  ? "random"
+            : w.kind == GenKind::Zipf    ? "zipf"
+            : w.kind == GenKind::Stencil ? "stencil"
+                                         : "graphmix";
+        std::printf("%-9s %-7s %-9s %8.2fx %6.0f%% %6.2f %6s\n",
+                    w.name.c_str(), w.suite.c_str(), kind,
+                    w.footprintScale, w.storeFraction * 100,
+                    w.zipfAlpha, w.highMiss ? "high" : "low");
+    }
+    return 0;
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    if (argc < 4)
+        usage();
+    const CliOptions o = parseOptions(argc, argv, 4);
+    const WorkloadProfile &wl = findWorkload(argv[2]);
+    const Design d = parseDesign(argv[3]);
+
+    System sys(makeConfig(o, d), wl);
+    const SimReport r = sys.run();
+    if (o.csv) {
+        printCsvHeader();
+        printCsvRow(r);
+    } else {
+        printHuman(r);
+    }
+    if (o.fullStats) {
+        std::printf("\nfull statistics:\n");
+        sys.dumpStats(std::cout);
+    }
+    return 0;
+}
+
+int
+cmdCompare(int argc, char **argv)
+{
+    if (argc < 3)
+        usage();
+    const CliOptions o = parseOptions(argc, argv, 3);
+    const WorkloadProfile &wl = findWorkload(argv[2]);
+    const Design designs[] = {Design::NoCache, Design::CascadeLake,
+                              Design::Alloy,   Design::Bear,
+                              Design::Ndc,     Design::Tdram,
+                              Design::Ideal};
+    if (o.csv)
+        printCsvHeader();
+    else
+        std::printf("%-14s %11s %8s %9s %9s %7s %9s\n", "design",
+                    "runtime_us", "missR", "tagChk", "rdLat", "bloat",
+                    "energy_mJ");
+    for (Design d : designs) {
+        const SimReport r = runOne(makeConfig(o, d), wl);
+        if (o.csv) {
+            printCsvRow(r);
+        } else {
+            std::printf(
+                "%-14s %11.1f %8.3f %9.2f %9.2f %7.2f %9.3f\n",
+                r.design.c_str(), r.runtimeNs() / 1e3, r.missRatio,
+                r.tagCheckNs, r.demandReadLatencyNs, r.bloat,
+                r.energy.totalJ() * 1e3);
+        }
+    }
+    return 0;
+}
+
+int
+cmdSweep(int argc, char **argv)
+{
+    if (argc < 6)
+        usage();
+    const CliOptions o = parseOptions(argc, argv, 6);
+    const WorkloadProfile &wl = findWorkload(argv[2]);
+    const Design d = parseDesign(argv[3]);
+    const std::string param = argv[4];
+
+    std::vector<std::uint64_t> values;
+    std::stringstream ss(argv[5]);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        values.push_back(std::strtoull(item.c_str(), nullptr, 10));
+    if (values.empty())
+        usage();
+
+    std::printf("param,value,");
+    printCsvHeader();
+    for (std::uint64_t v : values) {
+        SystemConfig cfg = makeConfig(o, d);
+        if (param == "capacity_mib") {
+            cfg.dcacheCapacity = v << 20;
+        } else if (param == "ways") {
+            cfg.dcacheWays = static_cast<unsigned>(v);
+        } else if (param == "flush") {
+            cfg.flushEntries = static_cast<unsigned>(v);
+        } else if (param == "channels") {
+            cfg.dcacheChannels = static_cast<unsigned>(v);
+        } else if (param == "mlp") {
+            cfg.cores.mlp = static_cast<unsigned>(v);
+        } else if (param == "prefetch") {
+            cfg.prefetchDegree = static_cast<unsigned>(v);
+        } else {
+            std::fprintf(stderr, "unknown sweep param '%s'\n",
+                         param.c_str());
+            usage();
+        }
+        const SimReport r = runOne(cfg, wl);
+        std::printf("%s,%llu,", param.c_str(),
+                    (unsigned long long)v);
+        printCsvRow(r);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    const std::string cmd = argv[1];
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "run")
+        return cmdRun(argc, argv);
+    if (cmd == "compare")
+        return cmdCompare(argc, argv);
+    if (cmd == "sweep")
+        return cmdSweep(argc, argv);
+    usage();
+}

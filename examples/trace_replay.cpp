@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Trace replay: shows the lower-level public API by assembling a
+ * system by hand — MainMemory, a DRAM-cache design, and a CoreEngine
+ * fed by a captured memory trace instead of a synthetic profile.
+ *
+ * With no arguments it first synthesizes a small trace file (so the
+ * example is self-contained), then replays it on TDRAM.
+ *
+ * Usage: trace_replay [trace_file] [design]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "system/system.hh"
+#include "workload/trace.hh"
+
+namespace
+{
+
+/** Synthesize a small mixed trace so the example runs stand-alone. */
+tsim::Trace
+makeDemoTrace()
+{
+    using namespace tsim;
+    Trace t;
+    Rng rng(2024);
+    // A strided sweep with a hot random region, 30% stores.
+    for (int i = 0; i < 30000; ++i) {
+        if (i % 3 == 0) {
+            t.add(rng.range(1 << 10) * lineBytes, rng.chance(0.5));
+        } else {
+            t.add((static_cast<Addr>(i) * 2 % (1 << 16)) * lineBytes,
+                  rng.chance(0.3));
+        }
+    }
+    return t;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tsim;
+
+    std::string path = argc > 1 ? argv[1] : "";
+    if (path.empty()) {
+        path = "/tmp/tdram_demo.trace";
+        makeDemoTrace().save(path);
+        std::printf("synthesized demo trace at %s\n", path.c_str());
+    }
+    const Trace trace = Trace::load(path);
+    std::printf("trace: %zu ops, footprint bound 0x%llx\n",
+                trace.size(), (unsigned long long)trace.maxAddr());
+
+    // --- assemble the system by hand ---
+    EventQueue eq;
+
+    MainMemoryConfig mm_cfg;
+    std::uint64_t cap = 1 << 26;
+    while (cap < trace.maxAddr())
+        cap <<= 1;
+    mm_cfg.capacityBytes = cap;
+    MainMemory mm(eq, "mm", mm_cfg);
+
+    DramCacheConfig dc_cfg;
+    dc_cfg.capacityBytes = 4ULL << 20;
+    auto dcache = makeDramCache(eq, Design::Tdram, dc_cfg, mm);
+
+    CoreConfig core_cfg;
+    core_cfg.cores = 4;
+    core_cfg.opsPerCore = trace.size() / core_cfg.cores;
+    std::vector<std::unique_ptr<AddressGenerator>> gens;
+    for (unsigned c = 0; c < core_cfg.cores; ++c) {
+        gens.push_back(std::make_unique<TraceReplayGenerator>(
+            trace, c, core_cfg.cores));
+    }
+    CoreEngine engine(eq, "engine", core_cfg, std::move(gens), *dcache,
+                      1);
+
+    engine.warmup(2000);
+    engine.start();
+    while (!engine.done() && eq.step()) {
+    }
+
+    std::printf("\nreplayed on TDRAM:\n");
+    std::printf("  runtime          %.1f us\n",
+                ticksToNs(engine.finishTick()) / 1e3);
+    std::printf("  dcache miss      %.3f\n", dcache->missRatio());
+    std::printf("  tag check        %.2f ns\n",
+                dcache->meanTagCheckLatencyNs());
+    std::printf("  read latency     %.2f ns\n",
+                engine.demandReadLatency.mean());
+    std::printf("  bloat factor     %.2f\n", dcache->bloatFactor());
+    return 0;
+}

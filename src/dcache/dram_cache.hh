@@ -1,0 +1,298 @@
+/**
+ * @file
+ * DRAM-cache controller framework.
+ *
+ * DramCacheCtrl is the front-end every evaluated design shares: it
+ * owns the functional tag state, serializes same-set transactions
+ * through a conflicting-request buffer (Table III: 32 entries),
+ * forwards reads that hit pending writes, talks to the per-channel
+ * DRAM back-ends and the main memory, and keeps the paper's metrics
+ * (access-outcome breakdown, tag-check latency, read-queue delay,
+ * useful/maintenance/discarded traffic for bandwidth bloat).
+ *
+ * Each design (CascadeLake, Alloy, BEAR, NDC, TDRAM, Ideal, NoCache)
+ * implements startAccess() with its protocol flow from §II/§III.
+ */
+
+#ifndef TSIM_DCACHE_DRAM_CACHE_HH
+#define TSIM_DCACHE_DRAM_CACHE_HH
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dram/channel.hh"
+#include "dram/main_memory.hh"
+#include "mem/types.hh"
+#include "sim/event_queue.hh"
+#include "stats/stats.hh"
+#include "tdram/tag_array.hh"
+
+namespace tsim
+{
+
+/** The DRAM-cache designs evaluated in the paper. */
+enum class Design : std::uint8_t
+{
+    CascadeLake,   ///< tags in ECC bits; DRAM read for every tag check
+    Alloy,         ///< tag-and-data 80 B bursts [58]
+    Bear,          ///< Alloy + write-hit tag-check bypass [28]
+    Ndc,           ///< in-DRAM tags tied to the column op [60]
+    Tdram,         ///< this paper
+    TdramNoProbe,  ///< TDRAM ablation without early tag probing
+    Ideal,         ///< zero-latency tags (tags-in-SRAM upper bound)
+    NoCache,       ///< main memory only
+};
+
+const char *designName(Design d);
+
+/** Configuration shared by every DRAM-cache design. */
+struct DramCacheConfig
+{
+    std::uint64_t capacityBytes = 16ULL << 20;
+    unsigned ways = 1;             ///< associativity (§V-F)
+    unsigned channels = 8;
+    unsigned banks = 16;
+    std::uint64_t rowBytes = 1024;
+    TimingParams timing{};         ///< set by the design factory
+    unsigned readQCap = 64;
+    unsigned writeQCap = 64;
+    unsigned conflictBufEntries = 32;
+    unsigned flushEntries = 16;
+    /** Row-buffer policy for conventional devices (Table III uses
+     *  close-page; Open is an ablation; ActRd/ActWr are inherently
+     *  close-page combined commands). */
+    PagePolicy pagePolicy = PagePolicy::Close;
+    bool predictor = false;        ///< MAP-I on CascadeLake (§V-D)
+    unsigned prefetchDegree = 0;   ///< next-line prefetch on read miss
+    Tick ctrlLatency = nsToTicks(2); ///< controller fast-path latency
+    bool refreshEnabled = true;
+
+    /**
+     * Ablation: disable TDRAM's conditional data response so
+     * read-miss-cleans still stream (discarded) data, isolating the
+     * contribution of the column-gating mechanism (§III-C3).
+     */
+    bool tdramConditionalColumn = true;
+};
+
+/** Abstract DRAM-cache controller. */
+class DramCacheCtrl : public SimObject
+{
+  public:
+    DramCacheCtrl(EventQueue &eq, std::string name,
+                  const DramCacheConfig &cfg, MainMemory &mm,
+                  ChannelConfig chan_cfg);
+    ~DramCacheCtrl() override = default;
+
+    /** Admission control: false applies backpressure to the LLC. */
+    bool canAccept(const MemPacket &pkt) const;
+
+    /** Accept one demand; @p cb fires on completion. */
+    void access(MemPacket pkt, RespCallback cb);
+
+    /**
+     * Functional-only access for warmup: applies the steady-state
+     * tag transition (fill on read miss, write-allocate on write
+     * miss) without consuming simulated time or touching stats.
+     */
+    void warmAccess(Addr addr, bool is_write);
+
+    virtual Design design() const = 0;
+
+    /** Prediction accuracy when a predictor is configured (§V-D). */
+    virtual double predictorAccuracy() const { return 0.0; }
+
+    /** @name Statistics. */
+    /// @{
+    Scalar demandReads;
+    Scalar demandWrites;
+    Scalar outcomes[static_cast<unsigned>(AccessOutcome::NumOutcomes)];
+    Histogram tagCheckLatency{2.0, 512};  ///< ns (Fig 9)
+    Histogram readLatency{4.0, 512};      ///< ns, demand reads
+    Scalar fwdFromWriteBuf;      ///< reads served from pending writes
+    Scalar servedFromFlush;      ///< reads served from the flush buffer
+    Scalar predictedMiss;        ///< MAP-I predicted misses (reads)
+    Scalar predictorWrongFetch;  ///< wasted early fetches (pred. miss, hit)
+    Scalar prefetchIssued;       ///< next-line prefetches sent to mm
+    Scalar prefetchUseful;       ///< prefetched lines later demanded
+    Scalar bytesDemandServing;   ///< cache DQ bytes servicing demands
+    Scalar bytesMaintenance;     ///< fills, victim writebacks, drains
+    Scalar bytesDiscarded;       ///< discarded tag-read data, TAD pad
+    /// @}
+
+    std::uint64_t
+    outcomeCount(AccessOutcome o) const
+    {
+        return static_cast<std::uint64_t>(
+            outcomes[static_cast<unsigned>(o)].value());
+    }
+
+    std::uint64_t demandCount() const
+    {
+        return static_cast<std::uint64_t>(demandReads.value() +
+                                          demandWrites.value());
+    }
+
+    /** DRAM-cache miss ratio over all demands. */
+    double missRatio() const;
+
+    /** Bandwidth bloat factor: total cache traffic / demand-serving. */
+    double bloatFactor() const;
+
+    /** Fraction of cache traffic that served no purpose (Fig 3). */
+    double unusefulFraction() const;
+
+    /** Mean read-buffer queueing delay over all channels (Fig 10). */
+    double meanReadQueueDelayNs() const;
+
+    /** Mean tag-check latency (Fig 9). */
+    double meanTagCheckLatencyNs() const
+    {
+        return tagCheckLatency.mean();
+    }
+
+    void regStats(StatGroup &g) const;
+
+    /** Print controller/channel live state (deadlock debugging). */
+    void dumpDebug(std::FILE *f) const;
+
+    DramChannel &channel(unsigned i) { return *_chans[i]; }
+    const DramChannel &channel(unsigned i) const { return *_chans[i]; }
+    unsigned numChannels() const
+    {
+        return static_cast<unsigned>(_chans.size());
+    }
+    const TagArray &tags() const { return _tags; }
+    MainMemory &mainMemory() { return _mm; }
+
+  protected:
+    /** One in-flight demand transaction. */
+    struct Txn
+    {
+        MemPacket pkt;
+        RespCallback cb;
+        bool tagResolved = false;
+        bool finished = false;
+        bool mmStarted = false;
+        Tick mmDataAt = 0;      ///< backing-store data arrival (0 = not yet)
+        bool victimDone = false; ///< dirty-victim data left the cache
+        bool fillIssued = false;
+        TagResult tr{};
+        std::uint64_t chanReqId = 0;
+    };
+    using TxnPtr = std::shared_ptr<Txn>;
+
+    /** Design-specific protocol flow for one demand. */
+    virtual void startAccess(const TxnPtr &txn) = 0;
+
+    /** NoCache bypasses the set-serialized MSHR path. */
+    virtual bool usesMshr() const { return true; }
+
+    /**
+     * Can the design's *initial* DRAM-cache operation for @p pkt be
+     * enqueued right now? Used by canAccept.
+     */
+    virtual bool initialOpAdmissible(const MemPacket &pkt) const;
+
+    /** @name Helpers for the design subclasses. */
+    /// @{
+    unsigned chanIdx(Addr addr) const { return _map.decode(addr).channel; }
+    DramChannel &channelFor(Addr addr) { return *_chans[chanIdx(addr)]; }
+
+    /**
+     * Classify + apply the functional tag transition for @p txn at
+     * tick @p when (the moment the controller learns the tag result).
+     * Idempotent: later calls (e.g. main HM after a probe) no-op.
+     *
+     * @param sample_latency False when no tag check was actually
+     *        performed (e.g. BEAR's write-hit bypass), so the sample
+     *        must not enter the Fig 9 tag-check-latency statistic.
+     */
+    void resolveTags(const TxnPtr &txn, Tick when,
+                     bool sample_latency = true);
+
+    /**
+     * Send the response for @p txn at @p when (latency observed by
+     * the requester). Idempotent; does not release the MSHR.
+     */
+    void respond(const TxnPtr &txn, Tick when);
+
+    /**
+     * Release @p txn's MSHR entry, allowing queued same-set demands
+     * to proceed. Call only after every cache-state-affecting
+     * operation of the transaction has been issued.
+     */
+    void release(const TxnPtr &txn);
+
+    /** respond() + release() for flows that complete in one step. */
+    void finish(const TxnPtr &txn, Tick when);
+
+    /** Enqueue on the right channel, retrying while the queue is full. */
+    void enqueueChan(ChanReq req, bool is_write);
+
+    /** Install the line and enqueue the design's fill write. */
+    void doFill(Addr addr);
+
+    /** Design-specific fill operation (Write vs ActWr). */
+    virtual ChanOp fillOp() const { return ChanOp::Write; }
+
+    void addPendingWrite(Addr addr) { ++_pendingWrites[addr]; }
+    void removePendingWrite(Addr addr);
+    bool isPendingWrite(Addr addr) const
+    {
+        return _pendingWrites.count(addr) != 0;
+    }
+
+    void mmRead(Addr addr, std::function<void(Tick)> cb);
+    void mmWrite(Addr addr);
+
+    /** Account one cache-DQ transfer into the three traffic classes. */
+    void
+    accountCache(std::uint64_t serving, std::uint64_t maintenance,
+                 std::uint64_t discarded)
+    {
+        bytesDemandServing += static_cast<double>(serving);
+        bytesMaintenance += static_cast<double>(maintenance);
+        bytesDiscarded += static_cast<double>(discarded);
+    }
+
+    /** Demand-burst size on the cache DQ (64 or 80 bytes). */
+    unsigned burstBytes() const { return _burstBytes; }
+
+    std::uint64_t nextChanId() { return _nextChanId++; }
+    /// @}
+
+    DramCacheConfig _cfg;
+    TagArray _tags;
+    AddressMap _map;
+    std::vector<std::unique_ptr<DramChannel>> _chans;
+    MainMemory &_mm;
+
+  private:
+    void beginTxn(const TxnPtr &txn);
+    bool tryFastPath(const TxnPtr &txn);
+
+    /** Issue next-line prefetches after a read miss (§V-D). */
+    void maybePrefetch(Addr addr);
+
+    std::unordered_map<std::uint64_t, std::deque<TxnPtr>> _setQueues;
+    unsigned _waiting = 0;  ///< conflicting-request buffer occupancy
+    Histogram _conflictOcc{1.0, 40};
+    std::unordered_map<Addr, unsigned> _pendingWrites;
+    std::unordered_set<Addr> _prefetched;  ///< awaiting first demand
+    std::uint64_t _nextChanId = 1;
+    unsigned _burstBytes = lineBytes;
+};
+
+/** Build the requested design over @p mm. */
+std::unique_ptr<DramCacheCtrl>
+makeDramCache(EventQueue &eq, Design design, const DramCacheConfig &cfg,
+              MainMemory &mm);
+
+} // namespace tsim
+
+#endif // TSIM_DCACHE_DRAM_CACHE_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Factory assembling the requested DRAM-cache design with the
+ * paper's per-design timing (CascadeLake uses 64 B bursts; Alloy and
+ * BEAR stream 80 B TAD units; the in-DRAM-tag designs add the tag-
+ * bank parameters of Table III).
+ */
+
+#include "dcache/conventional.hh"
+#include "dcache/dram_cache.hh"
+#include "dcache/in_dram.hh"
+#include "dcache/simple.hh"
+#include "dram/timing.hh"
+
+namespace tsim
+{
+
+std::unique_ptr<DramCacheCtrl>
+makeDramCache(EventQueue &eq, Design design, const DramCacheConfig &cfg,
+              MainMemory &mm)
+{
+    DramCacheConfig c = cfg;
+    const std::string n = std::string("dcache.") + designName(design);
+    switch (design) {
+      case Design::CascadeLake:
+        c.timing = hbm3CacheTimings();
+        return std::make_unique<CascadeLakeCtrl>(eq, n, c, mm);
+      case Design::Alloy:
+        c.timing = hbm3TadTimings();
+        return std::make_unique<AlloyCtrl>(eq, n, c, mm);
+      case Design::Bear:
+        c.timing = hbm3TadTimings();
+        return std::make_unique<BearCtrl>(eq, n, c, mm);
+      case Design::Ndc:
+        c.timing = hbm3CacheTimings();
+        return std::make_unique<NdcCtrl>(eq, n, c, mm);
+      case Design::Tdram:
+        c.timing = hbm3CacheTimings();
+        return std::make_unique<TdramCtrl>(eq, n, c, mm, true);
+      case Design::TdramNoProbe:
+        c.timing = hbm3CacheTimings();
+        return std::make_unique<TdramCtrl>(eq, n, c, mm, false);
+      case Design::Ideal:
+        c.timing = hbm3CacheTimings();
+        return std::make_unique<IdealCtrl>(eq, n, c, mm);
+      case Design::NoCache:
+        c.timing = hbm3CacheTimings();
+        return std::make_unique<NoCacheCtrl>(eq, n, c, mm);
+      default:
+        panic("unknown DRAM-cache design");
+    }
+}
+
+} // namespace tsim

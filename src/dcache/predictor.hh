@@ -1,0 +1,89 @@
+/**
+ * @file
+ * MAP-I hit/miss predictor (Qureshi & Loh, Alloy cache [58]).
+ *
+ * A Memory Access Predictor indexed by the requesting Instruction
+ * address: one table of saturating counters, incremented on a cache
+ * hit and decremented on a miss; the MSB gives the prediction. Used
+ * for §V-D: a predicted read miss lets the controller start the
+ * main-memory fetch in parallel with the tag check.
+ */
+
+#ifndef TSIM_DCACHE_PREDICTOR_HH
+#define TSIM_DCACHE_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/types.hh"
+#include "stats/stats.hh"
+
+namespace tsim
+{
+
+/** Instruction-indexed memory access predictor. */
+class MapIPredictor
+{
+  public:
+    /**
+     * @param entries Table size (power of two).
+     * @param bits    Counter width (3 in the original proposal).
+     */
+    explicit MapIPredictor(unsigned entries = 256, unsigned bits = 3)
+        : _mask(entries - 1), _max((1u << bits) - 1),
+          _table(entries, _max)  // optimistic: predict hit initially
+    {}
+
+    /** Predict whether the access at @p pc will hit. */
+    bool
+    predictHit(Addr pc) const
+    {
+        return _table[index(pc)] > _max / 2;
+    }
+
+    /** Train with the actual outcome. */
+    void
+    update(Addr pc, bool hit)
+    {
+        auto &ctr = _table[index(pc)];
+        if (hit) {
+            if (ctr < _max)
+                ++ctr;
+        } else {
+            if (ctr > 0)
+                --ctr;
+        }
+        ++updates;
+    }
+
+    /** Record a resolved prediction for accuracy stats. */
+    void
+    recordOutcome(bool predicted_hit, bool actual_hit)
+    {
+        predictions.sample(predicted_hit == actual_hit ? 1.0 : 0.0);
+    }
+
+    double accuracy() const { return predictions.mean(); }
+
+    Scalar updates;
+    Average predictions;   ///< mean = prediction accuracy
+
+  private:
+    std::size_t index(Addr pc) const
+    {
+        // Mix the PC so nearby instructions spread over the table.
+        std::uint64_t x = pc >> 2;
+        x ^= x >> 17;
+        x *= 0xff51afd7ed558ccdULL;
+        x ^= x >> 33;
+        return static_cast<std::size_t>(x) & _mask;
+    }
+
+    std::size_t _mask;
+    std::uint8_t _max;
+    std::vector<std::uint8_t> _table;
+};
+
+} // namespace tsim
+
+#endif // TSIM_DCACHE_PREDICTOR_HH

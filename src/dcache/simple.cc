@@ -1,0 +1,150 @@
+#include "dcache/simple.hh"
+
+namespace tsim
+{
+
+IdealCtrl::IdealCtrl(EventQueue &eq, std::string name,
+                     const DramCacheConfig &cfg, MainMemory &mm)
+    : DramCacheCtrl(eq, std::move(name), cfg, mm, ChannelConfig{})
+{
+}
+
+void
+IdealCtrl::startAccess(const TxnPtr &txn)
+{
+    // The ideal cache knows hit/miss and metadata instantly.
+    resolveTags(txn, curTick());
+    if (txn->pkt.cmd == MemCmd::Read)
+        startRead(txn);
+    else
+        startWrite(txn);
+}
+
+void
+IdealCtrl::startRead(const TxnPtr &txn)
+{
+    const Addr addr = txn->pkt.addr;
+    if (txn->tr.hit) {
+        ChanReq req;
+        req.id = nextChanId();
+        req.addr = addr;
+        req.op = ChanOp::Read;
+        req.isDemandRead = true;
+        req.onDataDone = [this, txn](Tick t) {
+            accountCache(lineBytes, 0, 0);
+            finish(txn, t);
+        };
+        enqueueChan(std::move(req), false);
+        return;
+    }
+
+    // Read miss: the backing-store fetch starts immediately; a dirty
+    // victim is read out off the critical path.
+    const bool dirty_victim = txn->tr.valid && txn->tr.dirty;
+    if (dirty_victim) {
+        ChanReq v;
+        v.id = nextChanId();
+        v.addr = txn->tr.victimAddr;
+        v.op = ChanOp::Read;
+        v.onDataDone = [this, txn](Tick) {
+            accountCache(0, lineBytes, 0);
+            mmWrite(txn->tr.victimAddr);
+            txn->victimDone = true;
+            maybeFill(txn);
+        };
+        enqueueChan(std::move(v), false);
+    } else {
+        txn->victimDone = true;
+    }
+    txn->mmStarted = true;
+    mmRead(addr, [this, txn](Tick t) {
+        txn->mmDataAt = t;
+        respond(txn, t);
+        maybeFill(txn);
+    });
+}
+
+void
+IdealCtrl::startWrite(const TxnPtr &txn)
+{
+    const Addr addr = txn->pkt.addr;
+    const bool dirty_victim =
+        !txn->tr.hit && txn->tr.valid && txn->tr.dirty;
+    if (dirty_victim) {
+        // The victim must leave the data mats before the new data
+        // overwrites it.
+        ChanReq v;
+        v.id = nextChanId();
+        v.addr = txn->tr.victimAddr;
+        v.op = ChanOp::Read;
+        v.onDataDone = [this, txn](Tick t) {
+            accountCache(0, lineBytes, 0);
+            mmWrite(txn->tr.victimAddr);
+            issueDataWrite(txn->pkt.addr);
+            finish(txn, t);
+        };
+        enqueueChan(std::move(v), false);
+        return;
+    }
+    issueDataWrite(addr);
+    _eq.scheduleIn(_cfg.ctrlLatency,
+                   [this, txn] { finish(txn, curTick()); });
+}
+
+void
+IdealCtrl::issueDataWrite(Addr addr)
+{
+    addPendingWrite(addr);
+    ChanReq w;
+    w.id = nextChanId();
+    w.addr = addr;
+    w.op = ChanOp::Write;
+    w.onDataDone = [this, addr](Tick) { removePendingWrite(addr); };
+    accountCache(lineBytes, 0, 0);
+    enqueueChan(std::move(w), true);
+}
+
+void
+IdealCtrl::maybeFill(const TxnPtr &txn)
+{
+    if (txn->fillIssued || txn->mmDataAt == 0 || !txn->victimDone)
+        return;
+    txn->fillIssued = true;
+    doFill(txn->pkt.addr);
+    release(txn);
+}
+
+namespace
+{
+
+/** NoCache never touches its cache channels; silence their refresh. */
+DramCacheConfig
+quiesced(DramCacheConfig cfg)
+{
+    cfg.refreshEnabled = false;
+    return cfg;
+}
+
+} // namespace
+
+NoCacheCtrl::NoCacheCtrl(EventQueue &eq, std::string name,
+                         const DramCacheConfig &cfg, MainMemory &mm)
+    : DramCacheCtrl(eq, std::move(name), quiesced(cfg), mm,
+                    ChannelConfig{})
+{
+}
+
+void
+NoCacheCtrl::startAccess(const TxnPtr &txn)
+{
+    if (txn->pkt.cmd == MemCmd::Read) {
+        mmRead(txn->pkt.addr,
+               [this, txn](Tick t) { respond(txn, t); });
+    } else {
+        mmWrite(txn->pkt.addr);
+        _eq.scheduleIn(_cfg.ctrlLatency,
+                       [this, txn] { respond(txn, curTick()); });
+    }
+}
+
+} // namespace tsim

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Cycle-level model of one DRAM channel and its per-channel
+ * controller back-end.
+ *
+ * One class models every device kind the paper evaluates; the
+ * ChannelConfig capability flags select the behaviour:
+ *
+ *  - Conventional (CascadeLake / Alloy / BEAR devices): plain
+ *    close-page ACT+RD / ACT+WR accesses; tags ride in the data
+ *    burst, so the controller learns hit/miss only when read data
+ *    arrives.
+ *  - TDRAM: in-DRAM tag mats (tRC_TAG cycle time), ActRd/ActWr
+ *    lockstep commands, HM bus with results at tRCD_TAG + tHM,
+ *    conditional column operation (read-miss-clean transfers no
+ *    data and donates its DQ slot to flush-buffer unloading),
+ *    device-side flush buffer, and opportunistic early tag probing.
+ *  - NDC: in-DRAM tags, but hit/miss is tied to the column operation
+ *    (hmAtColumn), no probing, and the victim buffer drains only via
+ *    explicit commands that force DQ turnarounds.
+ *
+ * The controller policy is FR-FCFS with a close-page policy
+ * (Table III), read priority with write-drain hysteresis, tRRD/tXAW
+ * activation windows, DQ-bus direction turnarounds, and periodic
+ * all-bank refresh.
+ */
+
+#ifndef TSIM_DRAM_CHANNEL_HH
+#define TSIM_DRAM_CHANNEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "dram/timing.hh"
+#include "mem/address_map.hh"
+#include "mem/types.hh"
+#include "sim/event_queue.hh"
+#include "stats/stats.hh"
+#include "tdram/flush_buffer.hh"
+#include "tdram/tag_array.hh"
+
+namespace tsim
+{
+
+/** Channel-level operation kinds. */
+enum class ChanOp : std::uint8_t
+{
+    Read,    ///< conventional ACT+RD (data, or tag+data for CL/Alloy)
+    Write,   ///< conventional ACT+WR (demand write or fill)
+    ActRd,   ///< TDRAM/NDC lockstep tag+data read
+    ActWr,   ///< TDRAM/NDC lockstep tag+data write
+};
+
+/** One request as seen by a channel. */
+struct ChanReq
+{
+    std::uint64_t id = 0;
+    Addr addr = 0;               ///< full line address
+    ChanOp op = ChanOp::Read;
+    bool isDemandRead = false;   ///< demand read (vs. tag read / fill)
+
+    /**
+     * Tag result at the controller. Fired for in-DRAM-tag kinds
+     * (TDRAM at HM time, NDC at column time) and for probe results
+     * (TagResult::viaProbe set). May fire more than once for a
+     * probed request; consumers must be idempotent.
+     */
+    std::function<void(Tick, const TagResult &)> onTagResult;
+
+    /** Data fully transferred (reads: at controller; writes: sent). */
+    std::function<void(Tick)> onDataDone;
+
+    // --- filled in by the channel ---
+    Tick enqueued = 0;
+    DramCoord coord{};
+    bool probed = false;
+};
+
+/** Row-buffer management policy. */
+enum class PagePolicy : std::uint8_t
+{
+    Close,  ///< auto-precharge after every column op (Table III)
+    Open,   ///< rows stay open; FR-FCFS prefers row hits
+};
+
+/** Capability and policy knobs for one channel. */
+struct ChannelConfig
+{
+    TimingParams timing{};
+    unsigned banks = 16;          ///< logical (paired) banks
+    std::uint64_t rowBytes = 1024;
+    PagePolicy pagePolicy = PagePolicy::Close;
+
+    bool inDramTags = false;      ///< device checks tags (TDRAM/NDC)
+    bool hmAtColumn = false;      ///< NDC: result tied to column op
+    bool conditionalColumn = false; ///< skip transfer on miss-clean
+    bool enableProbe = false;     ///< TDRAM early tag probing
+    bool hasFlushBuffer = false;  ///< device-side victim buffer
+    unsigned flushEntries = 16;
+    bool opportunisticDrain = true; ///< TDRAM-style unloading
+
+    unsigned readQCap = 64;
+    unsigned writeQCap = 64;
+    unsigned writeHigh = 48;      ///< enter write-drain mode
+    unsigned writeLow = 16;       ///< leave write-drain mode
+    bool refreshEnabled = true;
+};
+
+/** One DRAM channel plus its controller back-end. */
+class DramChannel : public SimObject
+{
+  public:
+    DramChannel(EventQueue &eq, std::string name, ChannelConfig cfg,
+                AddressMap map);
+
+    /** @name Queue admission (backpressure to the front-end). */
+    /// @{
+    bool canAcceptRead() const { return _readQ.size() < _cfg.readQCap; }
+    bool canAcceptWrite() const
+    {
+        return _writeQ.size() < _cfg.writeQCap;
+    }
+    std::size_t readQSize() const { return _readQ.size(); }
+    std::size_t writeQSize() const { return _writeQ.size(); }
+    /// @}
+
+    /** Enqueue a request; panics if the target queue is full. */
+    void enqueue(ChanReq req);
+
+    /**
+     * Retire a queued read early (probe said miss-clean and the
+     * front-end handles it without a data access).
+     * @return true if the request was found and removed.
+     */
+    bool removeRead(std::uint64_t id);
+
+    /** @name Flush-buffer interface (TDRAM/NDC kinds only). */
+    /// @{
+    bool flushContains(Addr addr) const { return _flush.contains(addr); }
+    bool flushRemove(Addr addr) { return _flush.remove(addr); }
+    unsigned flushSize() const { return _flush.size(); }
+    const FlushBuffer &flushBuffer() const { return _flush; }
+    /** Explicitly drain every buffered entry (turnaround cost). */
+    void forceDrain();
+    /// @}
+
+    /**
+     * Functional tag peek, supplied by the DRAM-cache front-end.
+     * Required when inDramTags is set; must be side-effect free.
+     */
+    std::function<TagResult(Addr)> peekTags;
+
+    /** Victim line from the flush buffer arrived at the controller. */
+    std::function<void(Addr, Tick)> onFlushArrive;
+
+    const ChannelConfig &config() const { return _cfg; }
+
+    /** @name Statistics. */
+    /// @{
+    Histogram readQueueDelay{2.0, 256};   ///< ns, per read-queue exit
+    Scalar issuedReads;
+    Scalar issuedWrites;
+    Scalar issuedActRd;
+    Scalar issuedActWr;
+    Scalar probesIssued;
+    Scalar probeBankConflicts;   ///< probes skipped: tag bank busy
+    Scalar refreshes;
+    Scalar bytesToCtrl;          ///< DQ device -> controller
+    Scalar bytesFromCtrl;        ///< DQ controller -> device
+    Scalar dqBusyTicks;          ///< ticks DQ actually transferring
+    Scalar dqReservedIdleTicks;  ///< reserved-but-unused (miss-clean)
+    Scalar turnarounds;          ///< DQ direction switches
+    Scalar dataBankActs;         ///< data-bank activations
+    Scalar tagBankActs;          ///< tag-bank activations
+    Scalar rowHits;              ///< open-page row-buffer hits
+    Scalar rowConflicts;         ///< open-page PRE-then-ACT conflicts
+    /// @}
+
+    /** Register all channel stats on @p g for reporting. */
+    void regStats(StatGroup &g) const;
+
+  private:
+    struct BankState
+    {
+        Tick nextAct = 0;      ///< data mats ready for next ACT
+        Tick tagNextAct = 0;   ///< tag mats ready (TDRAM/NDC)
+        // --- open-page state ---
+        bool rowOpen = false;
+        std::uint64_t openRow = 0;
+        Tick nextPre = 0;      ///< earliest precharge (tRAS/tWR)
+    };
+
+    /** Open-page: true if @p req hits the currently open row. */
+    bool rowHit(const ChanReq &req) const;
+
+    void kick();
+    void scheduleKick(Tick when);
+
+    /** Earliest tick at which @p req could be issued. */
+    Tick earliestIssue(const ChanReq &req) const;
+
+    /** Issue @p req at the current tick (constraints already met). */
+    void issue(ChanReq req);
+
+    void issueConventional(ChanReq &req, bool is_write);
+    void issueActRd(ChanReq &req);
+    void issueActWr(ChanReq &req);
+
+    /** Push a victim into the flush buffer, retrying on stalls. */
+    void flushPushRetry(Addr victim);
+
+    /** Try to issue one early tag probe; @return true if issued. */
+    bool tryProbe();
+
+    /** Earliest tick a probe could be issued (maxTick if none). */
+    Tick earliestProbe() const;
+
+    /**
+     * Reserve the DQ bus for a transfer of @p dur starting no
+     * earlier than @p start. @return actual start tick.
+     */
+    Tick reserveDq(bool is_write, Tick start, Tick dur);
+
+    /** Earliest DQ start for direction @p is_write (incl. turnaround). */
+    Tick dqEarliest(bool is_write) const;
+
+    Tick fawConstraint() const;
+    void recordAct(Tick t);
+
+    void startRefresh();
+
+    bool inWriteDrain() const { return _drainingWrites; }
+
+    ChannelConfig _cfg;
+    AddressMap _map;
+    const TimingParams &_t;
+
+    std::deque<ChanReq> _readQ;
+    std::deque<ChanReq> _writeQ;
+
+    std::vector<BankState> _banks;
+    std::deque<Tick> _actWindow;   ///< recent ACTs for tXAW
+    Tick _lastAct = 0;
+    Tick _caFreeAt = 0;
+    Tick _hmFreeAt = 0;
+    Tick _dqFreeAt = 0;
+    bool _dqLastWrite = false;
+    bool _dqEverUsed = false;
+    Tick _refreshUntil = 0;
+    bool _drainingWrites = false;
+    Tick _nextKick = 0;
+
+    FlushBuffer _flush;
+    Tick _flushDrainUntil = 0;
+
+    std::uint64_t _nextReqSeq = 0;
+};
+
+} // namespace tsim
+
+#endif // TSIM_DRAM_CHANNEL_HH

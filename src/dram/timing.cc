@@ -1,0 +1,48 @@
+#include "dram/timing.hh"
+
+namespace tsim
+{
+
+TimingParams
+hbm3CacheTimings()
+{
+    // Defaults in the struct are exactly Table III.
+    return TimingParams{};
+}
+
+TimingParams
+hbm3TadTimings()
+{
+    TimingParams t;
+    // Alloy and BEAR access 80 B (64 B data + 8 B tag + 8 B ignored)
+    // per 64 B demand; the paper models this with longer bursts.
+    t.burstScale = 80.0 / 64.0;
+    return t;
+}
+
+TimingParams
+ddr5Timings()
+{
+    TimingParams t;
+    // DDR5-ish core timings; the main memory is the slower backing
+    // store behind the DRAM cache. Table III gives each channel
+    // 32 GiB/s peak — one 64 B line per 2 ns — so the burst matches
+    // the cache's and tFAW reflects fast modern parts (~13 ns).
+    t.tBURST = nsToTicks(2);
+    t.tRCD = nsToTicks(16);
+    t.tRCD_WR = nsToTicks(16);
+    t.tRP = nsToTicks(16);
+    t.tRAS = nsToTicks(32);
+    t.tCL = nsToTicks(16);
+    t.tCWL = nsToTicks(14);
+    t.tRRD = nsToTicks(2.5);
+    t.tXAW = nsToTicks(13);
+    t.tWR = nsToTicks(30);
+    t.tRTW = nsToTicks(6);
+    t.tWTR = nsToTicks(6);
+    t.tREFI = nsToTicks(3900);
+    t.tRFC = nsToTicks(295);
+    return t;
+}
+
+} // namespace tsim

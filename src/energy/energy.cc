@@ -1,0 +1,41 @@
+#include "energy/energy.hh"
+
+namespace tsim
+{
+
+EnergyBreakdown
+computeEnergy(const DramCacheCtrl &dcache, const MainMemory &mm,
+              Tick runtime, const EnergyParams &p)
+{
+    EnergyBreakdown e;
+    const double seconds = static_cast<double>(runtime) * 1e-12;
+
+    for (unsigned c = 0; c < dcache.numChannels(); ++c) {
+        const DramChannel &ch = dcache.channel(c);
+        e.cacheActJ += ch.dataBankActs.value() * p.eActDataJ;
+        e.cacheTagJ += ch.tagBankActs.value() * p.eActTagJ;
+        e.cacheDqJ += (ch.bytesToCtrl.value() +
+                       ch.bytesFromCtrl.value()) *
+                      p.eDqPerByteJ;
+        // Every ActRd/ActWr/probe returns a result packet on the HM
+        // bus (conventional designs have none of these).
+        e.cacheHmJ += (ch.issuedActRd.value() + ch.issuedActWr.value() +
+                       ch.probesIssued.value()) *
+                      p.eHmPacketJ;
+        e.cacheRefreshJ += ch.refreshes.value() * p.eRefreshJ;
+        e.cacheBackgroundJ += p.pBackgroundW * seconds;
+    }
+
+    for (unsigned c = 0; c < mm.numChannels(); ++c) {
+        const DramChannel &ch = mm.channel(c);
+        e.mmDynamicJ += ch.dataBankActs.value() * p.eMmActJ +
+                        (ch.bytesToCtrl.value() +
+                         ch.bytesFromCtrl.value()) *
+                            p.eMmPerByteJ;
+        e.mmRefreshJ += ch.refreshes.value() * p.eMmRefreshJ;
+        e.mmBackgroundJ += p.pMmBackgroundW * seconds;
+    }
+    return e;
+}
+
+} // namespace tsim

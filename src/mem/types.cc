@@ -1,0 +1,24 @@
+#include "mem/types.hh"
+
+namespace tsim
+{
+
+const char *
+outcomeName(AccessOutcome o)
+{
+    switch (o) {
+      case AccessOutcome::ReadHitClean: return "read_hit_clean";
+      case AccessOutcome::ReadHitDirty: return "read_hit_dirty";
+      case AccessOutcome::ReadMissInvalid: return "read_miss_invalid";
+      case AccessOutcome::ReadMissClean: return "read_miss_clean";
+      case AccessOutcome::ReadMissDirty: return "read_miss_dirty";
+      case AccessOutcome::WriteHitClean: return "write_hit_clean";
+      case AccessOutcome::WriteHitDirty: return "write_hit_dirty";
+      case AccessOutcome::WriteMissInvalid: return "write_miss_invalid";
+      case AccessOutcome::WriteMissClean: return "write_miss_clean";
+      case AccessOutcome::WriteMissDirty: return "write_miss_dirty";
+      default: return "invalid_outcome";
+    }
+}
+
+} // namespace tsim

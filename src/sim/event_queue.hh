@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue drives every simulated component. Components
+ * schedule callbacks at absolute ticks; the queue executes them in
+ * (tick, insertion-order) order, which makes simulation fully
+ * deterministic.
+ */
+
+#ifndef TSIM_SIM_EVENT_QUEUE_HH
+#define TSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/ticks.hh"
+
+namespace tsim
+{
+
+/**
+ * The global simulation event queue.
+ *
+ * Events are arbitrary callables. Scheduling in the past is a
+ * simulator bug (panic). Ties are broken by insertion order so that
+ * simulation is deterministic and independent of container internals.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulation time. */
+    Tick curTick() const { return _curTick; }
+
+    /** Schedule @p cb to run at absolute time @p when. */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        panic_if(when < _curTick,
+                 "scheduling in the past (when=%llu cur=%llu)",
+                 (unsigned long long)when, (unsigned long long)_curTick);
+        _events.push(Event{when, _nextSeq++, std::move(cb)});
+    }
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    void
+    scheduleIn(Tick delay, Callback cb)
+    {
+        schedule(_curTick + delay, std::move(cb));
+    }
+
+    /** True if no events remain. */
+    bool empty() const { return _events.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return _events.size(); }
+
+    /** Time of the next pending event (maxTick if none). */
+    Tick
+    nextEventTick() const
+    {
+        return _events.empty() ? maxTick : _events.top().when;
+    }
+
+    /**
+     * Run until the queue drains or @p limit is reached (events
+     * scheduled exactly at @p limit still execute).
+     *
+     * @return number of events executed.
+     */
+    std::uint64_t
+    run(Tick limit = maxTick)
+    {
+        std::uint64_t executed = 0;
+        while (!_events.empty() && _events.top().when <= limit) {
+            // Move the event out before popping so the callback may
+            // schedule new events (including at the current tick).
+            Event ev = std::move(const_cast<Event &>(_events.top()));
+            _events.pop();
+            _curTick = ev.when;
+            ev.cb();
+            ++executed;
+        }
+        if (_curTick < limit && limit != maxTick)
+            _curTick = limit;
+        return executed;
+    }
+
+    /** Execute exactly one event, if any. @return true if one ran. */
+    bool
+    step()
+    {
+        if (_events.empty())
+            return false;
+        Event ev = std::move(const_cast<Event &>(_events.top()));
+        _events.pop();
+        _curTick = ev.when;
+        ev.cb();
+        return true;
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> _events;
+    Tick _curTick = 0;
+    std::uint64_t _nextSeq = 0;
+};
+
+/**
+ * Base class for named simulated components bound to an event queue.
+ */
+class SimObject
+{
+  public:
+    SimObject(EventQueue &eq, std::string name)
+        : _eq(eq), _name(std::move(name))
+    {}
+
+    virtual ~SimObject() = default;
+
+    const std::string &name() const { return _name; }
+    EventQueue &eventQueue() const { return _eq; }
+    Tick curTick() const { return _eq.curTick(); }
+
+  protected:
+    EventQueue &_eq;
+
+  private:
+    std::string _name;
+};
+
+} // namespace tsim
+
+#endif // TSIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,160 @@
+#include "system/system.hh"
+
+#include <cmath>
+
+#include "stats/stats.hh"
+
+namespace tsim
+{
+
+namespace
+{
+
+std::uint64_t
+pow2Ceil(std::uint64_t v)
+{
+    std::uint64_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+System::System(const SystemConfig &cfg, const WorkloadProfile &workload)
+    : _cfg(cfg), _workload(workload)
+{
+    // Size main memory to cover the scattered physical footprint.
+    const std::uint64_t space =
+        physicalSpaceBytes(workload, cfg.dcacheCapacity);
+    MainMemoryConfig mm_cfg;
+    mm_cfg.channels = cfg.mmChannels;
+    mm_cfg.capacityBytes =
+        cfg.mmCapacity ? cfg.mmCapacity
+                       : std::max<std::uint64_t>(pow2Ceil(space),
+                                                 1 << 26);
+    _mm = std::make_unique<MainMemory>(_eq, "mm", mm_cfg);
+
+    DramCacheConfig dc_cfg;
+    dc_cfg.capacityBytes = cfg.dcacheCapacity;
+    dc_cfg.ways = cfg.dcacheWays;
+    dc_cfg.channels = cfg.dcacheChannels;
+    dc_cfg.banks = cfg.dcacheBanks;
+    dc_cfg.flushEntries = cfg.flushEntries;
+    dc_cfg.predictor = cfg.predictor;
+    dc_cfg.prefetchDegree = cfg.prefetchDegree;
+    dc_cfg.tdramConditionalColumn = cfg.tdramConditionalColumn;
+    dc_cfg.pagePolicy = cfg.dcachePagePolicy;
+    _dcache = makeDramCache(_eq, cfg.design, dc_cfg, *_mm);
+
+    std::vector<std::unique_ptr<AddressGenerator>> gens;
+    for (unsigned c = 0; c < cfg.cores.cores; ++c) {
+        gens.push_back(makeGenerator(workload, c, cfg.cores.cores,
+                                     cfg.dcacheCapacity));
+    }
+    _engine = std::make_unique<CoreEngine>(
+        _eq, "engine", cfg.cores, std::move(gens), *_dcache, cfg.seed);
+}
+
+SimReport
+System::run()
+{
+    _engine->warmup(_cfg.warmupOpsPerCore);
+    _engine->start();
+    while (!_engine->done()) {
+        if (!_eq.step())
+            panic("event queue drained before the workload finished");
+        if (_eq.curTick() > _cfg.maxRuntime) {
+            _dcache->dumpDebug(stderr);
+            _engine->dumpDebug(stderr);
+            panic("run exceeded maxRuntime (%0.1f ms simulated) on %s/%s",
+                  ticksToNs(_cfg.maxRuntime) * 1e-6,
+                  designName(_cfg.design), _workload.name.c_str());
+        }
+    }
+
+    SimReport r;
+    r.workload = _workload.name;
+    r.design = designName(_cfg.design);
+    r.highMiss = _workload.highMiss;
+    r.runtimeTicks = _engine->finishTick();
+    r.demandReads =
+        static_cast<std::uint64_t>(_dcache->demandReads.value());
+    r.demandWrites =
+        static_cast<std::uint64_t>(_dcache->demandWrites.value());
+    r.missRatio = _dcache->missRatio();
+
+    const double demands =
+        static_cast<double>(r.demandReads + r.demandWrites);
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(AccessOutcome::NumOutcomes); ++i) {
+        r.outcomeFrac[i] =
+            demands > 0 ? _dcache->outcomes[i].value() / demands : 0;
+    }
+
+    r.tagCheckNs = _dcache->meanTagCheckLatencyNs();
+    r.readQueueDelayNs = _dcache->meanReadQueueDelayNs();
+    {
+        double sum = 0;
+        std::uint64_t count = 0;
+        for (unsigned c = 0; c < _mm->numChannels(); ++c) {
+            sum += _mm->channel(c).readQueueDelay.sum();
+            count += _mm->channel(c).readQueueDelay.count();
+        }
+        r.mmReadQueueDelayNs =
+            count ? sum / static_cast<double>(count) : 0.0;
+    }
+    r.demandReadLatencyNs = _engine->demandReadLatency.mean();
+    r.bloat = _dcache->bloatFactor();
+    r.unusefulFrac = _dcache->unusefulFraction();
+
+    r.cacheBytes = _dcache->bytesDemandServing.value() +
+                   _dcache->bytesMaintenance.value() +
+                   _dcache->bytesDiscarded.value();
+    r.mmBytes = static_cast<double>(_mm->bytesMoved());
+    r.energy = computeEnergy(*_dcache, *_mm, r.runtimeTicks);
+
+    for (unsigned c = 0; c < _dcache->numChannels(); ++c) {
+        const auto &fb = _dcache->channel(c).flushBuffer();
+        r.flushStalls += static_cast<std::uint64_t>(fb.stalls.value());
+        r.flushMaxOcc = std::max(r.flushMaxOcc, fb.maxOccupancy.value());
+        r.flushAvgOcc += fb.occupancy.mean();
+        r.probes += static_cast<std::uint64_t>(
+            _dcache->channel(c).probesIssued.value());
+    }
+    r.flushAvgOcc /= _dcache->numChannels();
+    r.predictorAccuracy = _dcache->predictorAccuracy();
+    r.backpressureStalls = static_cast<std::uint64_t>(
+        _engine->backpressureStalls.value());
+    return r;
+}
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    StatGroup g("system");
+    _dcache->regStats(g);
+    _mm->regStats(g);
+    _engine->regStats(g);
+    g.dump(os);
+}
+
+SimReport
+runOne(const SystemConfig &cfg, const WorkloadProfile &wl)
+{
+    System sys(cfg, wl);
+    return sys.run();
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0;
+    for (double x : xs)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+} // namespace tsim

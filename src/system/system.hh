@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Full-system assembly: cores + SRAM hierarchy + DRAM-cache design
+ * + DDR5 main memory (paper Fig 8, Table III), plus the run harness
+ * and the per-run report used by every benchmark.
+ */
+
+#ifndef TSIM_SYSTEM_SYSTEM_HH
+#define TSIM_SYSTEM_SYSTEM_HH
+
+#include <array>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "dcache/dram_cache.hh"
+#include "dram/main_memory.hh"
+#include "energy/energy.hh"
+#include "sim/event_queue.hh"
+#include "workload/core_engine.hh"
+#include "workload/profiles.hh"
+
+namespace tsim
+{
+
+/** Everything needed to build and run one simulation. */
+struct SystemConfig
+{
+    Design design = Design::Tdram;
+
+    std::uint64_t dcacheCapacity = 16ULL << 20;
+    unsigned dcacheWays = 1;
+    unsigned dcacheChannels = 8;
+    unsigned dcacheBanks = 16;
+    unsigned flushEntries = 16;
+    bool predictor = false;
+    unsigned prefetchDegree = 0;
+    bool tdramConditionalColumn = true;  ///< ablation knob
+    PagePolicy dcachePagePolicy = PagePolicy::Close;  ///< ablation
+
+    unsigned mmChannels = 2;
+    std::uint64_t mmCapacity = 0;  ///< 0: sized to fit the footprint
+
+    CoreConfig cores{};
+    std::uint64_t warmupOpsPerCore = 200000;
+    std::uint64_t seed = 1;
+
+    /** Simulated-time safety net; a run past this is a bug. */
+    Tick maxRuntime = nsToTicks(2.0e9);
+};
+
+/** Results of one run (the raw material of every figure/table). */
+struct SimReport
+{
+    std::string workload;
+    std::string design;
+    bool highMiss = false;
+
+    Tick runtimeTicks = 0;
+    std::uint64_t demandReads = 0;
+    std::uint64_t demandWrites = 0;
+    double missRatio = 0;
+    std::array<double,
+               static_cast<std::size_t>(AccessOutcome::NumOutcomes)>
+        outcomeFrac{};
+
+    double tagCheckNs = 0;        ///< Fig 9
+    double readQueueDelayNs = 0;  ///< Fig 2 / Fig 10
+    double mmReadQueueDelayNs = 0; ///< Fig 2's no-DRAM-cache bar
+    double demandReadLatencyNs = 0;
+    double bloat = 0;             ///< Table IV
+    double unusefulFrac = 0;      ///< Fig 3
+
+    double cacheBytes = 0;
+    double mmBytes = 0;
+    EnergyBreakdown energy{};     ///< Fig 13
+
+    std::uint64_t flushStalls = 0;  ///< §V-E
+    double flushMaxOcc = 0;
+    double flushAvgOcc = 0;
+    std::uint64_t probes = 0;
+    double predictorAccuracy = 0;
+    std::uint64_t backpressureStalls = 0;
+
+    double runtimeNs() const { return ticksToNs(runtimeTicks); }
+};
+
+/** One simulated machine bound to one workload. */
+class System
+{
+  public:
+    System(const SystemConfig &cfg, const WorkloadProfile &workload);
+
+    /** Warm up, run to completion, and collect the report. */
+    SimReport run();
+
+    EventQueue &eventQueue() { return _eq; }
+    DramCacheCtrl &dcache() { return *_dcache; }
+    MainMemory &mainMemory() { return *_mm; }
+    CoreEngine &engine() { return *_engine; }
+    const SystemConfig &config() const { return _cfg; }
+
+    /** Dump all registered stats (debugging / examples). */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    SystemConfig _cfg;
+    WorkloadProfile _workload;
+    EventQueue _eq;
+    std::unique_ptr<MainMemory> _mm;
+    std::unique_ptr<DramCacheCtrl> _dcache;
+    std::unique_ptr<CoreEngine> _engine;
+};
+
+/** Convenience: build + run one configuration. */
+SimReport runOne(const SystemConfig &cfg, const WorkloadProfile &wl);
+
+/** Geometric mean helper for the paper's summary numbers. */
+double geomean(const std::vector<double> &xs);
+
+} // namespace tsim
+
+#endif // TSIM_SYSTEM_SYSTEM_HH

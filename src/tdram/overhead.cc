@@ -1,0 +1,56 @@
+#include "tdram/overhead.hh"
+
+namespace tsim
+{
+
+InterfaceSignals
+hbm3Signals()
+{
+    InterfaceSignals s;
+    // 16 channels x (64 DQ + 10b R + 8b C); the remaining channel
+    // and global functions (strobes, clocks, ECC, reset, IEEE1500,
+    // ...) bring the stack to the paper's ~1972-signal baseline.
+    s.channels = 16;
+    s.dqPerChannel = 64;
+    s.caPerChannel = 18;  // 10b row + 8b column
+    s.hmPerChannel = 0;
+    s.auxPerChannel = 38; // per-channel strobes/clocks/ECC
+    s.globalSignals = 52;
+    return s;
+}
+
+InterfaceSignals
+tdramSignals()
+{
+    InterfaceSignals s;
+    // Figure 4A: 32 independent 32-bit channels, each with an 8b CA
+    // bus (2b more than half the shared HBM3 R+C), a 4b HM bus, and
+    // 22 auxiliary signals; 52 global signals. Total 2164.
+    s.channels = 32;
+    s.dqPerChannel = 32;
+    s.caPerChannel = 8;
+    s.hmPerChannel = 4;
+    s.auxPerChannel = 22;
+    s.globalSignals = 52;
+    return s;
+}
+
+unsigned
+tdramExtraSignals()
+{
+    // The paper counts the signals beyond HBM3's bump map: 2b CA +
+    // 4b HM per 32-bit channel (the HBM3 package has 320 unused
+    // bump sites, enough for these 192).
+    const InterfaceSignals t = tdramSignals();
+    return t.channels * (2 + t.hmPerChannel);
+}
+
+double
+tdramSignalIncrease()
+{
+    return static_cast<double>(tdramSignals().total()) /
+               static_cast<double>(hbm3Signals().total()) -
+           1.0;
+}
+
+} // namespace tsim

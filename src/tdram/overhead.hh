@@ -1,0 +1,121 @@
+/**
+ * @file
+ * TDRAM hardware-cost model: the signal-count table of Figure 4A and
+ * the die-area estimate of §III-C5, expressed as computable
+ * functions so the paper's overhead claims (192 extra pins, 9.7 %
+ * more signals, 8.24 % die area) are reproducible artifacts rather
+ * than constants.
+ */
+
+#ifndef TSIM_TDRAM_OVERHEAD_HH
+#define TSIM_TDRAM_OVERHEAD_HH
+
+namespace tsim
+{
+
+/** Signal counts for one memory-stack interface. */
+struct InterfaceSignals
+{
+    unsigned channels = 0;       ///< independent channels
+    unsigned dqPerChannel = 0;
+    unsigned caPerChannel = 0;
+    unsigned hmPerChannel = 0;   ///< TDRAM's hit-miss bus
+    unsigned auxPerChannel = 0;  ///< clocks, strobes, ECC, ...
+    unsigned globalSignals = 0;  ///< reset, IEEE1500, ...
+
+    unsigned
+    perChannel() const
+    {
+        return dqPerChannel + caPerChannel + hmPerChannel +
+               auxPerChannel;
+    }
+
+    unsigned total() const
+    {
+        return channels * perChannel() + globalSignals;
+    }
+};
+
+/**
+ * Baseline HBM3 stack interface (JESD238-level accounting used by
+ * the paper): 16 channels x 64 DQ split into two pseudo-channels,
+ * 10b row + 8b column command buses, plus >650 channel/global
+ * signals.
+ */
+InterfaceSignals hbm3Signals();
+
+/**
+ * TDRAM interface (Figure 4A): the 32 pseudo-channels become 32
+ * independent channels, each with a 8b CA bus, a 4b HM bus, and 22
+ * auxiliary signals; 52 global signals.
+ */
+InterfaceSignals tdramSignals();
+
+/** Extra signals TDRAM adds over HBM3 (paper: 192 = 6 x 32). */
+unsigned tdramExtraSignals();
+
+/** Relative signal increase (paper: ~9.7 %). */
+double tdramSignalIncrease();
+
+/** Inputs to the §III-C5 die-area estimate. */
+struct AreaModel
+{
+    /**
+     * Area overhead of the tag mats relative to the data mats they
+     * shadow. The paper scales mats by 1/2 in each dimension and
+     * takes a pessimistic 24.3 % (Son et al. report 19 % for a 4x
+     * aspect-ratio change).
+     */
+    double tagMatOverhead = 0.243;
+
+    /** Tags live only in the even bank of each pair. */
+    double evenBankFraction = 0.5;
+
+    /** Banks occupy ~66 % of the HBM3 die (Park et al. die photo). */
+    double bankAreaFraction = 0.66;
+
+    /** Extra wiring (hit/miss routing to the odd banks). */
+    double routingOverhead = 0.0022;
+
+    /** Total die-area impact (paper: 8.24 %). */
+    double
+    dieAreaImpact() const
+    {
+        return tagMatOverhead * evenBankFraction * bankAreaFraction +
+               routingOverhead;
+    }
+};
+
+/**
+ * Tag-storage capacity bookkeeping (§II-A, §III-C5): bytes of tag +
+ * metadata for a given cache size (3 B per 64 B line), and the tag
+ * width needed to map a physical address space.
+ */
+struct TagStorage
+{
+    /** Tag+metadata bytes for @p cache_bytes of data (3 B / 64 B). */
+    static unsigned long long
+    tagBytes(unsigned long long cache_bytes)
+    {
+        return cache_bytes / 64ULL * 3ULL;
+    }
+
+    /**
+     * Tag bits for a direct-mapped cache of @p cache_bytes covering
+     * @p address_space bytes (paper: 64 GiB cache + 1 PB space needs
+     * 14 bits).
+     */
+    static unsigned
+    tagBits(unsigned long long cache_bytes,
+            unsigned long long address_space)
+    {
+        unsigned bits = 0;
+        while ((cache_bytes << bits) < address_space)
+            ++bits;
+        return bits;
+    }
+};
+
+} // namespace tsim
+
+#endif // TSIM_TDRAM_OVERHEAD_HH

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Functional tag/metadata store for a DRAM cache.
+ *
+ * In TDRAM/NDC this state physically lives in on-die tag mats; in
+ * CascadeLake/Alloy/BEAR it lives in the ECC bits / TAD layout of the
+ * data rows. Either way the *functional* content is the same, so one
+ * array serves every design; only the modelled timing of consulting
+ * it differs.
+ *
+ * Supports direct-mapped (ways == 1, the paper's default) and
+ * set-associative (§V-F) organizations with LRU replacement.
+ */
+
+#ifndef TSIM_TDRAM_TAG_ARRAY_HH
+#define TSIM_TDRAM_TAG_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/types.hh"
+#include "sim/logging.hh"
+
+namespace tsim
+{
+
+/** Result of consulting the tag store for one line address. */
+struct TagResult
+{
+    bool hit = false;
+    bool valid = false;      ///< the indexed victim way holds a line
+    bool dirty = false;      ///< hit: the line; miss: the victim
+    Addr victimAddr = 0;     ///< line resident in the victim way
+    bool viaProbe = false;   ///< result produced by an early tag probe
+};
+
+/** Set-associative functional tag array with LRU replacement. */
+class TagArray
+{
+  public:
+    /**
+     * @param capacity_bytes Cache data capacity.
+     * @param ways           Associativity (1 = direct-mapped).
+     */
+    TagArray(std::uint64_t capacity_bytes, unsigned ways = 1)
+        : _ways(ways)
+    {
+        fatal_if(ways == 0, "associativity must be >= 1");
+        std::uint64_t lines = capacity_bytes / lineBytes;
+        fatal_if(lines == 0 || lines % ways != 0,
+                 "capacity must be a multiple of ways*lineBytes");
+        _sets = lines / ways;
+        fatal_if(_sets & (_sets - 1), "set count must be a power of two");
+        _entries.resize(lines);
+    }
+
+    std::uint64_t numSets() const { return _sets; }
+    unsigned ways() const { return _ways; }
+
+    /** Set index of a line address. */
+    std::uint64_t
+    setIndex(Addr addr) const
+    {
+        return (addr / lineBytes) & (_sets - 1);
+    }
+
+    /**
+     * Look up @p addr without changing any state.
+     *
+     * On a miss, victimAddr/valid/dirty describe the LRU way that an
+     * install would evict. This is what the in-DRAM comparator (TDRAM)
+     * or the controller-side compare (others) observes.
+     */
+    TagResult
+    peek(Addr addr) const
+    {
+        TagResult r;
+        const std::uint64_t set = setIndex(addr);
+        for (unsigned w = 0; w < _ways; ++w) {
+            const Entry &e = entry(set, w);
+            if (e.valid && e.tag == tagOf(addr)) {
+                r.hit = true;
+                r.valid = true;
+                r.dirty = e.dirty;
+                r.victimAddr = addr;
+                return r;
+            }
+        }
+        const Entry &victim = entry(set, victimWay(set));
+        r.valid = victim.valid;
+        r.dirty = victim.valid && victim.dirty;
+        r.victimAddr = victim.valid ? rebuildAddr(set, victim.tag) : 0;
+        return r;
+    }
+
+    /**
+     * Install @p addr (evicting the LRU victim) and set its dirty bit.
+     * Used on fills (dirty=false) and write allocations (dirty=true).
+     */
+    void
+    install(Addr addr, bool dirty)
+    {
+        const std::uint64_t set = setIndex(addr);
+        Entry *slot = find(addr);
+        if (!slot)
+            slot = &entry(set, victimWay(set));
+        slot->valid = true;
+        slot->tag = tagOf(addr);
+        slot->dirty = dirty;
+        slot->lru = ++_clock;
+    }
+
+    /** Mark a resident line dirty (write hit). Panics if absent. */
+    void
+    markDirty(Addr addr)
+    {
+        Entry *e = find(addr);
+        panic_if(!e, "markDirty on non-resident line %llx",
+                 (unsigned long long)addr);
+        e->dirty = true;
+        e->lru = ++_clock;
+    }
+
+    /** Mark a resident line clean (after a writeback). */
+    void
+    markClean(Addr addr)
+    {
+        if (Entry *e = find(addr))
+            e->dirty = false;
+    }
+
+    /** Touch LRU state on a hit. */
+    void
+    touch(Addr addr)
+    {
+        if (Entry *e = find(addr))
+            e->lru = ++_clock;
+    }
+
+    /** Drop a line if resident. */
+    void
+    invalidate(Addr addr)
+    {
+        if (Entry *e = find(addr))
+            e->valid = false;
+    }
+
+    /** True if the line is resident. */
+    bool isHit(Addr addr) const { return peek(addr).hit; }
+
+    /** Number of valid lines (for tests / occupancy reporting). */
+    std::uint64_t
+    validCount() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &e : _entries)
+            n += e.valid;
+        return n;
+    }
+
+  private:
+    struct Entry
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lru = 0;
+    };
+
+    Addr tagOf(Addr addr) const { return (addr / lineBytes) / _sets; }
+
+    Addr
+    rebuildAddr(std::uint64_t set, Addr tag) const
+    {
+        return (tag * _sets + set) * lineBytes;
+    }
+
+    Entry &entry(std::uint64_t set, unsigned way)
+    {
+        return _entries[set * _ways + way];
+    }
+
+    const Entry &entry(std::uint64_t set, unsigned way) const
+    {
+        return _entries[set * _ways + way];
+    }
+
+    /** LRU victim way of a set (an invalid way wins outright). */
+    unsigned
+    victimWay(std::uint64_t set) const
+    {
+        unsigned best = 0;
+        for (unsigned w = 0; w < _ways; ++w) {
+            const Entry &e = entry(set, w);
+            if (!e.valid)
+                return w;
+            if (e.lru < entry(set, best).lru)
+                best = w;
+        }
+        return best;
+    }
+
+    Entry *
+    find(Addr addr)
+    {
+        const std::uint64_t set = setIndex(addr);
+        for (unsigned w = 0; w < _ways; ++w) {
+            Entry &e = entry(set, w);
+            if (e.valid && e.tag == tagOf(addr))
+                return &e;
+        }
+        return nullptr;
+    }
+
+    unsigned _ways;
+    std::uint64_t _sets;
+    std::uint64_t _clock = 0;
+    std::vector<Entry> _entries;
+};
+
+} // namespace tsim
+
+#endif // TSIM_TDRAM_TAG_ARRAY_HH

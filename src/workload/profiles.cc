@@ -1,0 +1,214 @@
+#include "workload/profiles.hh"
+
+#include "sim/logging.hh"
+
+namespace tsim
+{
+
+namespace
+{
+
+std::vector<WorkloadProfile>
+buildWorkloads()
+{
+    std::vector<WorkloadProfile> w;
+    auto add = [&](std::string name, std::string suite, GenKind kind,
+                   double fp, double store, bool high,
+                   double alpha = 1.1, unsigned streams = 4,
+                   unsigned arrays = 4, double shared = 0.3) {
+        WorkloadProfile p;
+        p.name = std::move(name);
+        p.suite = std::move(suite);
+        p.kind = kind;
+        p.footprintScale = fp;
+        p.storeFraction = store;
+        p.highMiss = high;
+        p.zipfAlpha = alpha;
+        p.streams = streams;
+        p.arrays = arrays;
+        p.sharedFraction = shared;
+        w.push_back(std::move(p));
+    };
+
+    // --- NPB class C: footprints mostly below the 8 GiB cache ---
+    add("bt.C", "NPB-C", GenKind::Stencil, 0.45, 0.35, false);
+    add("cg.C", "NPB-C", GenKind::GraphMix, 0.55, 0.15, false, 1.2);
+    add("ep.C", "NPB-C", GenKind::Random, 0.02, 0.30, false);
+    add("ft.C", "NPB-C", GenKind::Stream, 3.80, 0.40, true, 1.1, 6);
+    add("is.C", "NPB-C", GenKind::Random, 0.80, 0.50, false);
+    add("lu.C", "NPB-C", GenKind::Stencil, 0.40, 0.30, false);
+    add("mg.C", "NPB-C", GenKind::Stream, 3.50, 0.30, true, 1.1, 8);
+    add("sp.C", "NPB-C", GenKind::Stencil, 0.50, 0.35, false);
+    add("ua.C", "NPB-C", GenKind::Stencil, 0.70, 0.40, false, 1.1, 4,
+        6);
+
+    // --- NPB class D: ~8-16x larger footprints; high miss ratios ---
+    add("bt.D", "NPB-D", GenKind::Stencil, 3.6, 0.35, true);
+    add("cg.D", "NPB-D", GenKind::GraphMix, 4.4, 0.15, true, 1.2);
+    add("ep.D", "NPB-D", GenKind::Random, 0.12, 0.30, false);
+    add("ft.D", "NPB-D", GenKind::Stream, 10.0, 0.40, true, 1.1, 6);
+    add("is.D", "NPB-D", GenKind::Random, 6.0, 0.50, true);
+    add("lu.D", "NPB-D", GenKind::Stencil, 3.2, 0.30, true);
+    add("mg.D", "NPB-D", GenKind::Stream, 9.0, 0.30, true, 1.1, 8);
+    add("sp.D", "NPB-D", GenKind::Stencil, 4.0, 0.35, true);
+    add("ua.D", "NPB-D", GenKind::Stencil, 5.5, 0.40, true, 1.1, 4,
+        6);
+
+    // --- GAPBS: scale-22 graphs fit; scale-25 graphs overflow ---
+    add("bc.22", "GAPBS", GenKind::Zipf, 0.50, 0.30, false, 1.15, 4,
+        4, 0.6);
+    add("bc.25", "GAPBS", GenKind::Zipf, 5.0, 0.30, true, 0.60, 4, 4,
+        0.6);
+    add("bfs.22", "GAPBS", GenKind::Zipf, 0.40, 0.20, false, 1.2, 4,
+        4, 0.6);
+    add("bfs.25", "GAPBS", GenKind::Zipf, 4.5, 0.20, true, 0.60, 4, 4,
+        0.6);
+    add("cc.22", "GAPBS", GenKind::Random, 0.45, 0.25, false);
+    add("cc.25", "GAPBS", GenKind::Random, 3.6, 0.25, true);
+    add("pr.22", "GAPBS", GenKind::GraphMix, 0.55, 0.30, false, 1.1);
+    add("pr.25", "GAPBS", GenKind::GraphMix, 4.4, 0.30, true, 1.1);
+    add("sssp.22", "GAPBS", GenKind::Zipf, 0.60, 0.25, false, 1.1, 4,
+        4, 0.5);
+    add("sssp.25", "GAPBS", GenKind::Zipf, 5.5, 0.25, true, 0.60, 4, 4,
+        0.5);
+    return w;
+}
+
+} // namespace
+
+const std::vector<WorkloadProfile> &
+allWorkloads()
+{
+    static const std::vector<WorkloadProfile> w = buildWorkloads();
+    return w;
+}
+
+const WorkloadProfile &
+findWorkload(const std::string &name)
+{
+    for (const auto &w : allWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<WorkloadProfile>
+representativeWorkloads()
+{
+    // One of each behaviour class, half low / half high miss ratio,
+    // spanning all three suites.
+    static const char *names[] = {
+        "bt.C", "is.C", "bfs.22", "pr.22",
+        "ft.C", "is.D", "bfs.25", "pr.25",
+    };
+    std::vector<WorkloadProfile> w;
+    for (const char *n : names)
+        w.push_back(findWorkload(n));
+    return w;
+}
+
+std::uint64_t
+footprintBytes(const WorkloadProfile &profile,
+               std::uint64_t dcache_capacity)
+{
+    auto fp = static_cast<std::uint64_t>(
+        profile.footprintScale * static_cast<double>(dcache_capacity));
+    // Keep at least a few rows per core and line alignment.
+    if (fp < 1ULL << 16)
+        fp = 1ULL << 16;
+    return fp & ~static_cast<std::uint64_t>(lineBytes - 1);
+}
+
+std::unique_ptr<AddressGenerator>
+makeGenerator(const WorkloadProfile &profile, unsigned core_id,
+              unsigned num_cores, std::uint64_t dcache_capacity)
+{
+    const std::uint64_t fp = footprintBytes(profile, dcache_capacity);
+    const auto shared_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(fp) * profile.sharedFraction);
+    const std::uint64_t priv_total = fp - shared_bytes;
+    const std::uint64_t priv_bytes = priv_total / num_cores;
+    const Addr priv_base = shared_bytes + core_id * priv_bytes;
+
+    // Distinct sweep phases per core: threads of an HPC job partition
+    // iteration spaces rather than scanning in lockstep.
+    const double phase =
+        static_cast<double>(core_id) / static_cast<double>(num_cores);
+
+    auto make_part = [&](Addr base,
+                         std::uint64_t bytes)
+        -> std::unique_ptr<AddressGenerator> {
+        switch (profile.kind) {
+          case GenKind::Stream:
+            return std::make_unique<StreamGenerator>(
+                base, bytes, profile.streams, profile.storeFraction,
+                phase);
+          case GenKind::Random:
+            return std::make_unique<RandomGenerator>(
+                base, bytes, profile.storeFraction);
+          case GenKind::Zipf:
+            return std::make_unique<ZipfGenerator>(
+                base, bytes, profile.zipfAlpha, profile.storeFraction);
+          case GenKind::Stencil:
+            return std::make_unique<StencilGenerator>(
+                base, bytes, profile.arrays, phase);
+          case GenKind::GraphMix: {
+            // Sequential edge scan + skewed vertex updates.
+            auto mix = std::make_unique<MixGenerator>();
+            const std::uint64_t edges = bytes * 3 / 4;
+            mix->add(std::make_unique<StreamGenerator>(
+                         base, edges, 2, profile.storeFraction * 0.3,
+                         phase),
+                     0.6);
+            mix->add(std::make_unique<ZipfGenerator>(
+                         base + edges, bytes - edges, profile.zipfAlpha,
+                         profile.storeFraction * 1.5),
+                     0.4);
+            return mix;
+          }
+          default:
+            fatal("unknown generator kind");
+        }
+    };
+
+    std::unique_ptr<AddressGenerator> gen;
+    if (shared_bytes < (1ULL << 12) || priv_bytes < (1ULL << 12)) {
+        // Degenerate split: use the whole footprint as one region.
+        gen = make_part(0, fp);
+    } else {
+        auto mix = std::make_unique<MixGenerator>();
+        mix->add(make_part(0, shared_bytes), profile.sharedFraction);
+        mix->add(make_part(priv_base, priv_bytes),
+                 1.0 - profile.sharedFraction);
+        gen = std::move(mix);
+    }
+
+    // OS-style physical page scatter, identical for every core of a
+    // workload so shared virtual pages stay shared physically.
+    std::uint64_t name_seed = 1469598103934665603ULL;
+    for (char ch : profile.name)
+        name_seed = (name_seed ^ static_cast<unsigned char>(ch)) *
+                    1099511628211ULL;
+    return std::make_unique<PageScatterGenerator>(std::move(gen), fp,
+                                                  name_seed);
+}
+
+std::uint64_t
+physicalSpaceBytes(const WorkloadProfile &profile,
+                   std::uint64_t dcache_capacity)
+{
+    const std::uint64_t fp = footprintBytes(profile, dcache_capacity);
+    // Must mirror PageScatterGenerator's rounding (even bit count).
+    const std::uint64_t pages =
+        (fp + PageScatterGenerator::pageBytes - 1) /
+        PageScatterGenerator::pageBytes;
+    unsigned bits = 1;
+    while ((1ULL << bits) < pages)
+        ++bits;
+    if (bits & 1)
+        ++bits;
+    return (1ULL << bits) * PageScatterGenerator::pageBytes;
+}
+
+} // namespace tsim

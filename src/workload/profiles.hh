@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The 28 evaluated workloads (paper §IV-B): NPB classes C and D and
+ * GAPBS kernels on synthetic graphs of scale 22 and 25.
+ *
+ * Each profile parameterizes a generator so that the DRAM-cache-
+ * relevant behaviour matches the paper's characterization (Figure 1):
+ * footprint/capacity ratio sets the miss group (low < 30 %,
+ * high > 50 %), the store fraction sets the write-demand mix, and
+ * the generator kind sets locality. Footprints are expressed
+ * relative to the DRAM-cache capacity so the scaled default configs
+ * keep the paper's ratios.
+ */
+
+#ifndef TSIM_WORKLOAD_PROFILES_HH
+#define TSIM_WORKLOAD_PROFILES_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/generator.hh"
+
+namespace tsim
+{
+
+/** Generator families used by the profiles. */
+enum class GenKind : std::uint8_t
+{
+    Stream,    ///< sequential sweeps (ft, mg)
+    Random,    ///< uniform scatter (is, cc)
+    Zipf,      ///< power-law vertex access (bfs, bc, sssp)
+    Stencil,   ///< co-traversed grid arrays (bt, lu, sp, ua)
+    GraphMix,  ///< sequential edge scan + random vertex updates (pr, cg)
+};
+
+/** Static description of one workload. */
+struct WorkloadProfile
+{
+    std::string name;        ///< e.g. "ft.C", "bfs.25"
+    std::string suite;       ///< "NPB-C", "NPB-D", "GAPBS"
+    GenKind kind;
+    double footprintScale;   ///< footprint / DRAM-cache capacity
+    double storeFraction;    ///< fraction of ops that are stores
+    double zipfAlpha = 1.1;
+    unsigned streams = 4;    ///< Stream: concurrent sweep pointers
+    unsigned arrays = 4;     ///< Stencil: co-traversed arrays
+    double sharedFraction = 0.3; ///< ops hitting the shared region
+    bool highMiss = false;   ///< paper's miss-ratio grouping
+};
+
+/** All 28 workloads. */
+const std::vector<WorkloadProfile> &allWorkloads();
+
+/** Lookup by name; fatal if unknown. */
+const WorkloadProfile &findWorkload(const std::string &name);
+
+/** A smaller representative set for quick benchmark runs. */
+std::vector<WorkloadProfile> representativeWorkloads();
+
+/**
+ * Build core @p core_id's generator for @p profile.
+ *
+ * The footprint is split into a shared region (all cores) and
+ * per-core private regions, mirroring multithreaded HPC sharing.
+ *
+ * @param dcache_capacity DRAM-cache capacity the footprint scales
+ *        against.
+ */
+std::unique_ptr<AddressGenerator>
+makeGenerator(const WorkloadProfile &profile, unsigned core_id,
+              unsigned num_cores, std::uint64_t dcache_capacity);
+
+/** Total footprint in bytes for a given cache capacity. */
+std::uint64_t footprintBytes(const WorkloadProfile &profile,
+                             std::uint64_t dcache_capacity);
+
+/**
+ * Physical address-space size the scattered footprint occupies
+ * (the main memory must be at least this large).
+ */
+std::uint64_t physicalSpaceBytes(const WorkloadProfile &profile,
+                                 std::uint64_t dcache_capacity);
+
+} // namespace tsim
+
+#endif // TSIM_WORKLOAD_PROFILES_HH

@@ -1,0 +1,57 @@
+#include "workload/trace.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace tsim
+{
+
+Trace
+Trace::load(const std::string &path)
+{
+    std::ifstream in(path);
+    fatal_if(!in, "cannot open trace '%s'", path.c_str());
+    Trace t;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ss(line);
+        std::string kind, addr_str;
+        ss >> kind >> addr_str;
+        fatal_if(ss.fail() || (kind != "R" && kind != "W"),
+                 "%s:%zu: expected 'R <addr>' or 'W <addr>'",
+                 path.c_str(), line_no);
+        const Addr addr =
+            std::strtoull(addr_str.c_str(), nullptr, 0);
+        t.add(addr, kind == "W");
+    }
+    return t;
+}
+
+void
+Trace::save(const std::string &path) const
+{
+    std::ofstream out(path);
+    fatal_if(!out, "cannot write trace '%s'", path.c_str());
+    for (const auto &op : _ops) {
+        out << (op.isStore ? "W 0x" : "R 0x") << std::hex << op.addr
+            << std::dec << '\n';
+    }
+}
+
+Addr
+Trace::maxAddr() const
+{
+    Addr max = 0;
+    for (const auto &op : _ops)
+        max = std::max(max, op.addr);
+    return lineAlign(max) + lineBytes;
+}
+
+} // namespace tsim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Memory-trace capture and replay.
+ *
+ * A trace is a plain-text file, one operation per line:
+ *
+ *     R 0x7f3a91c0
+ *     W 0x100040
+ *
+ * Traces let users drive the simulator with address streams captured
+ * from real applications (e.g. via Pin/DynamoRIO or gem5's probes)
+ * instead of the synthetic profiles.
+ */
+
+#ifndef TSIM_WORKLOAD_TRACE_HH
+#define TSIM_WORKLOAD_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/generator.hh"
+
+namespace tsim
+{
+
+/** In-memory trace: a sequence of operations. */
+class Trace
+{
+  public:
+    /** Parse a trace file; fatal on malformed lines. */
+    static Trace load(const std::string &path);
+
+    /** Write the trace back out (round-trips with load()). */
+    void save(const std::string &path) const;
+
+    void add(Addr addr, bool is_store)
+    {
+        _ops.push_back({addr, is_store});
+    }
+
+    const std::vector<MemOp> &ops() const { return _ops; }
+    std::size_t size() const { return _ops.size(); }
+    bool empty() const { return _ops.empty(); }
+
+    /** Largest line-aligned address + one line (footprint bound). */
+    Addr maxAddr() const;
+
+  private:
+    std::vector<MemOp> _ops;
+};
+
+/**
+ * Replays a trace as an AddressGenerator, wrapping at the end.
+ *
+ * Multiple cores can replay the same Trace with round-robin
+ * interleaving: core i of n consumes ops i, i+n, i+2n, ...
+ */
+class TraceReplayGenerator : public AddressGenerator
+{
+  public:
+    /**
+     * @param trace  Must outlive the generator.
+     * @param core   This core's lane.
+     * @param stride Total number of interleaved lanes.
+     */
+    TraceReplayGenerator(const Trace &trace, unsigned core = 0,
+                         unsigned stride = 1)
+        : _trace(trace), _pos(core), _stride(stride)
+    {}
+
+    MemOp
+    next(Rng &) override
+    {
+        const auto &ops = _trace.ops();
+        const MemOp op = ops[_pos % ops.size()];
+        _pos += _stride;
+        return op;
+    }
+
+  private:
+    const Trace &_trace;
+    std::size_t _pos;
+    unsigned _stride;
+};
+
+} // namespace tsim
+
+#endif // TSIM_WORKLOAD_TRACE_HH

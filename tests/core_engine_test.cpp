@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Core-engine tests: MLP limiting, L1/LLC filtering, writeback
+ * generation, warmup, and backpressure handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/system.hh"
+#include "workload/core_engine.hh"
+
+namespace tsim
+{
+namespace
+{
+
+/** Fixed-sequence generator for controlled experiments. */
+class FixedGen : public AddressGenerator
+{
+  public:
+    explicit FixedGen(std::vector<MemOp> ops) : _ops(std::move(ops)) {}
+
+    MemOp
+    next(Rng &) override
+    {
+        MemOp op = _ops[_pos % _ops.size()];
+        ++_pos;
+        return op;
+    }
+
+  private:
+    std::vector<MemOp> _ops;
+    std::size_t _pos = 0;
+};
+
+struct EngineHarness
+{
+    explicit EngineHarness(CoreConfig cfg,
+                           std::vector<std::vector<MemOp>> streams)
+    {
+        MainMemoryConfig mm_cfg;
+        mm_cfg.capacityBytes = 1ULL << 26;
+        mm_cfg.refreshEnabled = false;
+        mm = std::make_unique<MainMemory>(eq, "mm", mm_cfg);
+        DramCacheConfig dc_cfg;
+        dc_cfg.capacityBytes = 1ULL << 20;
+        dc_cfg.channels = 2;
+        dc_cfg.refreshEnabled = false;
+        cache = makeDramCache(eq, Design::Tdram, dc_cfg, *mm);
+        std::vector<std::unique_ptr<AddressGenerator>> gens;
+        for (auto &s : streams)
+            gens.push_back(std::make_unique<FixedGen>(std::move(s)));
+        engine = std::make_unique<CoreEngine>(
+            eq, "engine", cfg, std::move(gens), *cache, 1);
+    }
+
+    void
+    runToCompletion()
+    {
+        engine->start();
+        while (!engine->done() && eq.step()) {
+        }
+        ASSERT_TRUE(engine->done());
+    }
+
+    EventQueue eq;
+    std::unique_ptr<MainMemory> mm;
+    std::unique_ptr<DramCacheCtrl> cache;
+    std::unique_ptr<CoreEngine> engine;
+};
+
+CoreConfig
+smallCores(unsigned cores, std::uint64_t ops)
+{
+    CoreConfig cfg;
+    cfg.cores = cores;
+    cfg.opsPerCore = ops;
+    cfg.l1Bytes = 4 * 1024;
+    cfg.llcBytes = 64 * 1024;
+    return cfg;
+}
+
+TEST(CoreEngine, RetiresEveryOp)
+{
+    std::vector<MemOp> stream;
+    for (int i = 0; i < 500; ++i)
+        stream.push_back({static_cast<Addr>(i) * lineBytes, false});
+    EngineHarness h(smallCores(2, 500), {stream, stream});
+    h.runToCompletion();
+    EXPECT_EQ(h.engine->opsRetired.value(), 1000.0);
+    EXPECT_GT(h.engine->finishTick(), 0u);
+}
+
+TEST(CoreEngine, L1AbsorbsRepeatedLine)
+{
+    std::vector<MemOp> stream(400, MemOp{0x1000, false});
+    EngineHarness h(smallCores(1, 400), {stream});
+    h.runToCompletion();
+    // One cold L1 miss; everything else hits the L1.
+    EXPECT_EQ(h.engine->l1(0).misses.value(), 1.0);
+    EXPECT_LE(h.engine->demandReadsIssued.value(), 1.0);
+}
+
+TEST(CoreEngine, StoresProduceWritebacksDownstream)
+{
+    // Store to many distinct lines; dirty L1 victims cascade through
+    // the LLC and eventually reach the DRAM cache as write demands.
+    std::vector<MemOp> stream;
+    for (int i = 0; i < 3000; ++i)
+        stream.push_back({static_cast<Addr>(i) * lineBytes, true});
+    EngineHarness h(smallCores(1, 3000), {stream});
+    h.runToCompletion();
+    EXPECT_GT(h.engine->demandWritesIssued.value(), 0.0);
+    EXPECT_GT(h.cache->demandWrites.value(), 0.0);
+}
+
+TEST(CoreEngine, MlpBoundsOutstandingReads)
+{
+    CoreConfig cfg = smallCores(1, 200);
+    cfg.mlp = 2;
+    cfg.thinkTime = 0;
+    std::vector<MemOp> stream;
+    for (int i = 0; i < 200; ++i)
+        stream.push_back(
+            {static_cast<Addr>(i) * 1027 * lineBytes, false});
+    EngineHarness h(cfg, {stream});
+    h.runToCompletion();
+    // With MLP 2 and ~100 ns demands, the run takes at least
+    // ops/2 * latency-ish time; just assert it completed and the
+    // latency histogram saw every read.
+    EXPECT_EQ(h.engine->demandReadLatency.count(),
+              static_cast<std::uint64_t>(
+                  h.engine->demandReadsIssued.value()));
+}
+
+TEST(CoreEngine, WarmupFillsCachesWithoutTime)
+{
+    std::vector<MemOp> stream;
+    for (int i = 0; i < 64; ++i)
+        stream.push_back({static_cast<Addr>(i) * lineBytes, false});
+    EngineHarness h(smallCores(1, 64), {stream});
+    h.engine->warmup(64);
+    EXPECT_EQ(h.eq.curTick(), 0u);
+    EXPECT_GT(h.cache->tags().validCount(), 0u);
+    // After warmup the same 64 lines are L1/LLC hits: no demands.
+    h.runToCompletion();
+    EXPECT_EQ(h.engine->demandReadsIssued.value(), 0.0);
+}
+
+TEST(CoreEngine, BackpressureEventuallyDrains)
+{
+    // A tiny conflicting-request buffer forces backpressure; the
+    // engine must still retire everything.
+    EventQueue eq;
+    MainMemoryConfig mm_cfg;
+    mm_cfg.capacityBytes = 1ULL << 26;
+    MainMemory mm(eq, "mm", mm_cfg);
+    DramCacheConfig dc_cfg;
+    dc_cfg.capacityBytes = 1ULL << 18;
+    dc_cfg.channels = 1;
+    dc_cfg.conflictBufEntries = 2;
+    dc_cfg.readQCap = 4;
+    dc_cfg.writeQCap = 4;
+    dc_cfg.refreshEnabled = false;
+    auto cache = makeDramCache(eq, Design::CascadeLake, dc_cfg, mm);
+
+    CoreConfig cfg = smallCores(4, 400);
+    cfg.thinkTime = 0;
+    std::vector<std::unique_ptr<AddressGenerator>> gens;
+    for (unsigned c = 0; c < 4; ++c) {
+        std::vector<MemOp> stream;
+        for (int i = 0; i < 400; ++i)
+            stream.push_back({static_cast<Addr>(i * 4 + c) * 769 *
+                                  lineBytes,
+                              i % 3 == 0});
+        gens.push_back(
+            std::make_unique<FixedGen>(std::move(stream)));
+    }
+    CoreEngine engine(eq, "engine", cfg, std::move(gens), *cache, 1);
+    engine.start();
+    while (!engine.done() && eq.step()) {
+    }
+    EXPECT_TRUE(engine.done());
+    EXPECT_GT(engine.backpressureStalls.value(), 0.0);
+    EXPECT_EQ(engine.opsRetired.value(), 1600.0);
+}
+
+} // namespace
+} // namespace tsim

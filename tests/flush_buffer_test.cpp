@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for TDRAM's flush buffer (§III-D2, §V-E).
+ */
+
+#include <gtest/gtest.h>
+
+#include "tdram/flush_buffer.hh"
+
+namespace tsim
+{
+namespace
+{
+
+TEST(FlushBuffer, FifoOrder)
+{
+    FlushBuffer fb(4);
+    EXPECT_TRUE(fb.push(0x100));
+    EXPECT_TRUE(fb.push(0x200));
+    EXPECT_TRUE(fb.push(0x300));
+    EXPECT_EQ(fb.pop(), 0x100u);
+    EXPECT_EQ(fb.pop(), 0x200u);
+    EXPECT_EQ(fb.pop(), 0x300u);
+    EXPECT_TRUE(fb.empty());
+}
+
+TEST(FlushBuffer, FullRefusesAndCountsStall)
+{
+    FlushBuffer fb(2);
+    EXPECT_TRUE(fb.push(1 * 64));
+    EXPECT_TRUE(fb.push(2 * 64));
+    EXPECT_TRUE(fb.full());
+    EXPECT_FALSE(fb.push(3 * 64));
+    EXPECT_EQ(fb.stalls.value(), 1.0);
+    EXPECT_EQ(fb.size(), 2u);
+}
+
+TEST(FlushBuffer, InFlightOccupiesCapacity)
+{
+    FlushBuffer fb(2);
+    fb.push(0x40);
+    fb.push(0x80);
+    fb.pop();
+    fb.beginDrain();
+    // One waiting + one in flight: still full.
+    EXPECT_TRUE(fb.full());
+    EXPECT_FALSE(fb.push(0xc0));
+    fb.completeDrain();
+    EXPECT_FALSE(fb.full());
+    EXPECT_TRUE(fb.push(0xc0));
+}
+
+TEST(FlushBuffer, ContainsAndSupersede)
+{
+    FlushBuffer fb(8);
+    fb.push(0x1000);
+    fb.push(0x2000);
+    EXPECT_TRUE(fb.contains(0x1000));
+    EXPECT_FALSE(fb.contains(0x3000));
+    // A newer demand write supersedes the buffered dirty data.
+    EXPECT_TRUE(fb.remove(0x1000));
+    EXPECT_FALSE(fb.contains(0x1000));
+    EXPECT_FALSE(fb.remove(0x1000));
+    EXPECT_EQ(fb.superseded.value(), 1.0);
+    EXPECT_EQ(fb.pop(), 0x2000u);
+}
+
+TEST(FlushBuffer, OccupancyStats)
+{
+    FlushBuffer fb(16);
+    for (Addr a = 1; a <= 5; ++a)
+        fb.push(a * 64);
+    EXPECT_EQ(fb.maxOccupancy.value(), 5.0);
+    EXPECT_EQ(fb.occupancy.count(), 5u);
+    EXPECT_DOUBLE_EQ(fb.occupancy.mean(), 3.0);  // 1+2+3+4+5 / 5
+}
+
+/** Property sweep over the paper's §V-E capacities. */
+class FlushBufferSizes : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(FlushBufferSizes, NeverExceedsCapacity)
+{
+    const unsigned cap = GetParam();
+    FlushBuffer fb(cap);
+    unsigned pushed = 0;
+    for (unsigned i = 0; i < 4 * cap; ++i) {
+        if (fb.push(i * 64))
+            ++pushed;
+        if (i % 3 == 0 && !fb.empty()) {
+            fb.pop();
+            fb.beginDrain();
+        }
+        if (i % 5 == 0 && fb.inFlight() > 0)
+            fb.completeDrain();
+        ASSERT_LE(fb.size() + fb.inFlight(), cap);
+    }
+    EXPECT_GT(pushed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, FlushBufferSizes,
+                         ::testing::Values(8, 16, 32, 64));
+
+} // namespace
+} // namespace tsim

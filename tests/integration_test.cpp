@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Full-system integration tests: every design runs a real workload
+ * end-to-end; invariants on determinism, conservation, dirty-line
+ * accounting, and the paper's qualitative ordering are checked.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/system.hh"
+
+namespace tsim
+{
+namespace
+{
+
+SystemConfig
+smallCfg(Design d)
+{
+    SystemConfig cfg;
+    cfg.design = d;
+    cfg.dcacheCapacity = 4ULL << 20;
+    cfg.cores.cores = 4;
+    cfg.cores.opsPerCore = 4000;
+    cfg.cores.llcBytes = 512 * 1024;
+    cfg.warmupOpsPerCore = 30000;
+    return cfg;
+}
+
+const Design kAllDesigns[] = {
+    Design::CascadeLake, Design::Alloy,        Design::Bear,
+    Design::Ndc,         Design::Tdram,        Design::TdramNoProbe,
+    Design::Ideal,       Design::NoCache,
+};
+
+class EndToEnd : public ::testing::TestWithParam<Design>
+{};
+
+TEST_P(EndToEnd, CompletesAndConserves)
+{
+    SystemConfig cfg = smallCfg(GetParam());
+    System sys(cfg, findWorkload("is.C"));
+    SimReport r = sys.run();
+
+    EXPECT_GT(r.runtimeTicks, 0u);
+    // Every issued demand completed.
+    EXPECT_EQ(sys.engine().demandReadsIssued.value(),
+              static_cast<double>(r.demandReads));
+    EXPECT_EQ(sys.engine().demandWritesIssued.value(),
+              static_cast<double>(r.demandWrites));
+    EXPECT_EQ(sys.engine().opsRetired.value(),
+              static_cast<double>(cfg.cores.cores) *
+                  cfg.cores.opsPerCore);
+    // Outcome fractions sum to 1 (when any demands exist).
+    if (GetParam() != Design::NoCache && r.demandReads > 0) {
+        double sum = 0;
+        for (double f : r.outcomeFrac)
+            sum += f;
+        EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+}
+
+TEST_P(EndToEnd, DeterministicAcrossRuns)
+{
+    SystemConfig cfg = smallCfg(GetParam());
+    cfg.cores.opsPerCore = 2000;
+    cfg.warmupOpsPerCore = 10000;
+    SimReport a = runOne(cfg, findWorkload("bfs.22"));
+    SimReport b = runOne(cfg, findWorkload("bfs.22"));
+    EXPECT_EQ(a.runtimeTicks, b.runtimeTicks);
+    EXPECT_EQ(a.demandReads, b.demandReads);
+    EXPECT_EQ(a.demandWrites, b.demandWrites);
+    EXPECT_DOUBLE_EQ(a.missRatio, b.missRatio);
+    EXPECT_DOUBLE_EQ(a.tagCheckNs, b.tagCheckNs);
+    EXPECT_DOUBLE_EQ(a.energy.totalJ(), b.energy.totalJ());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Designs, EndToEnd, ::testing::ValuesIn(kAllDesigns),
+    [](const ::testing::TestParamInfo<Design> &info) {
+        std::string n = designName(info.param);
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+TEST(Invariants, DirtyVictimsReachMainMemory)
+{
+    // On a high-miss workload with stores, every dirty miss victim
+    // must be written back to main memory (and only those: fills
+    // come back as reads).
+    SystemConfig cfg = smallCfg(Design::Tdram);
+    System sys(cfg, findWorkload("is.D"));
+    SimReport r = sys.run();
+
+    const auto dirty_evictions =
+        r.outcomeFrac[static_cast<unsigned>(
+            AccessOutcome::ReadMissDirty)] +
+        r.outcomeFrac[static_cast<unsigned>(
+            AccessOutcome::WriteMissDirty)];
+    const double expected =
+        dirty_evictions *
+        static_cast<double>(r.demandReads + r.demandWrites);
+    double superseded = 0, in_flush = 0;
+    for (unsigned c = 0; c < sys.dcache().numChannels(); ++c) {
+        superseded +=
+            sys.dcache().channel(c).flushBuffer().superseded.value();
+        in_flush += sys.dcache().channel(c).flushSize();
+    }
+    const double mm_writes = sys.mainMemory().writes.value();
+    // mm writes == dirty evictions - (superseded + still buffered).
+    EXPECT_NEAR(mm_writes, expected - superseded - in_flush,
+                expected * 0.01 + 2);
+}
+
+TEST(Invariants, MissRatioConsistentAcrossDesigns)
+{
+    // The access-outcome mix is a property of workload x cache
+    // organization; protocols only reorder events slightly.
+    double first = -1;
+    for (Design d :
+         {Design::CascadeLake, Design::Ndc, Design::Tdram}) {
+        SystemConfig cfg = smallCfg(d);
+        SimReport r = runOne(cfg, findWorkload("ft.C"));
+        if (first < 0)
+            first = r.missRatio;
+        else
+            EXPECT_NEAR(r.missRatio, first, 0.05) << designName(d);
+    }
+}
+
+TEST(Invariants, SeedChangesStreamButNotShape)
+{
+    SystemConfig cfg = smallCfg(Design::Tdram);
+    SimReport a = runOne(cfg, findWorkload("is.C"));
+    cfg.seed = 99;
+    SimReport b = runOne(cfg, findWorkload("is.C"));
+    EXPECT_NE(a.runtimeTicks, b.runtimeTicks);
+    EXPECT_NEAR(a.missRatio, b.missRatio, 0.05);
+}
+
+TEST(PaperOrdering, TdramTagCheckFastest)
+{
+    // Fig 9's qualitative result on one high-miss workload.
+    const auto &wl = findWorkload("ft.C");
+    const SimReport cl = runOne(smallCfg(Design::CascadeLake), wl);
+    const SimReport ndc = runOne(smallCfg(Design::Ndc), wl);
+    const SimReport td = runOne(smallCfg(Design::Tdram), wl);
+    EXPECT_LT(td.tagCheckNs, ndc.tagCheckNs);
+    EXPECT_LT(td.tagCheckNs, cl.tagCheckNs);
+    EXPECT_GT(cl.tagCheckNs / td.tagCheckNs, 1.5);
+}
+
+TEST(PaperOrdering, TdramNoProbeSlowerTagCheckThanTdram)
+{
+    const auto &wl = findWorkload("ft.C");
+    const SimReport td = runOne(smallCfg(Design::Tdram), wl);
+    const SimReport np = runOne(smallCfg(Design::TdramNoProbe), wl);
+    EXPECT_LT(td.tagCheckNs, np.tagCheckNs);
+    EXPECT_GT(td.probes, 0u);
+    EXPECT_EQ(np.probes, 0u);
+}
+
+TEST(PaperOrdering, TdramReducesBloatVsConventional)
+{
+    const auto &wl = findWorkload("ft.C");
+    const SimReport cl = runOne(smallCfg(Design::CascadeLake), wl);
+    const SimReport alloy = runOne(smallCfg(Design::Alloy), wl);
+    const SimReport td = runOne(smallCfg(Design::Tdram), wl);
+    const SimReport ndc = runOne(smallCfg(Design::Ndc), wl);
+    EXPECT_LT(td.bloat, cl.bloat);
+    EXPECT_LT(cl.bloat, alloy.bloat);  // Alloy's 80 B bursts
+    EXPECT_NEAR(td.bloat, ndc.bloat, 0.05 * ndc.bloat);
+}
+
+TEST(PaperOrdering, IdealBoundsTdramRuntime)
+{
+    const auto &wl = findWorkload("is.C");
+    const SimReport td = runOne(smallCfg(Design::Tdram), wl);
+    const SimReport ideal = runOne(smallCfg(Design::Ideal), wl);
+    // Ideal (zero-latency tags) is the upper bound on performance.
+    EXPECT_LE(ideal.runtimeTicks,
+              td.runtimeTicks + td.runtimeTicks / 10);
+}
+
+TEST(FlushBuffer, BoundedOccupancyInRealRuns)
+{
+    SystemConfig cfg = smallCfg(Design::Tdram);
+    cfg.flushEntries = 16;
+    System sys(cfg, findWorkload("is.D"));
+    SimReport r = sys.run();
+    EXPECT_LE(r.flushMaxOcc, 16.0);
+    EXPECT_EQ(r.flushStalls, 0u);  // §V-E: 16 entries never stall
+}
+
+TEST(Energy, TransfersDominateAndScaleWithBloat)
+{
+    const auto &wl = findWorkload("ft.C");
+    const SimReport cl = runOne(smallCfg(Design::CascadeLake), wl);
+    const SimReport td = runOne(smallCfg(Design::Tdram), wl);
+    // TDRAM moves less data => less total energy (Fig 13).
+    EXPECT_LT(td.energy.totalJ(), cl.energy.totalJ());
+    EXPECT_GT(cl.energy.cacheDqJ, 0.0);
+}
+
+} // namespace
+} // namespace tsim

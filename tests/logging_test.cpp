@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Logging/formatting helpers and kernel error paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace tsim
+{
+namespace
+{
+
+TEST(LogFormat, FormatsLikePrintf)
+{
+    EXPECT_EQ(logFormat("plain"), "plain");
+    EXPECT_EQ(logFormat("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+    EXPECT_EQ(logFormat("%s/%s", "a", "b"), "a/b");
+    EXPECT_EQ(logFormat("%08llx", 0xbeefULL), "0000beef");
+}
+
+TEST(LogFormat, LongStringsSurvive)
+{
+    std::string big(5000, 'x');
+    EXPECT_EQ(logFormat("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    ASSERT_EQ(eq.curTick(), 100u);
+    EXPECT_DEATH(eq.schedule(50, [] {}), "scheduling in the past");
+}
+
+TEST(PanicIfDeath, FiresOnlyWhenConditionHolds)
+{
+    panic_if(false, "must not fire");
+    EXPECT_DEATH(panic_if(true, "boom %d", 42), "boom 42");
+}
+
+} // namespace
+} // namespace tsim

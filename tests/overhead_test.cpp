@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests pinning the paper's hardware-cost numbers (Fig 4A, §III-C5,
+ * §II-A) to the overhead model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tdram/overhead.hh"
+
+namespace tsim
+{
+namespace
+{
+
+TEST(Overhead, Hbm3BaselineSignalCount)
+{
+    // The paper's baseline accounting: 1024 DQ + 288 CA + >650
+    // additional signals.
+    const InterfaceSignals s = hbm3Signals();
+    EXPECT_EQ(s.channels * s.dqPerChannel, 1024u);
+    EXPECT_EQ(s.channels * s.caPerChannel, 288u);
+    EXPECT_EQ(s.total(), 1972u);
+}
+
+TEST(Overhead, TdramSignalCount)
+{
+    // Figure 4A: 2164 total signals.
+    const InterfaceSignals s = tdramSignals();
+    EXPECT_EQ(s.channels, 32u);
+    EXPECT_EQ(s.perChannel(), 66u);
+    EXPECT_EQ(s.total(), 2164u);
+}
+
+TEST(Overhead, ExtraPinsMatchPaper)
+{
+    // 2b CA + 4b HM per 32-bit channel = 192 extra signals, within
+    // the HBM3 package's 320 unused bump sites.
+    EXPECT_EQ(tdramExtraSignals(), 192u);
+    EXPECT_LE(tdramExtraSignals(), 320u);
+}
+
+TEST(Overhead, SignalIncreaseMatchesPaper)
+{
+    EXPECT_NEAR(tdramSignalIncrease(), 0.097, 0.002);
+}
+
+TEST(Overhead, DieAreaImpactMatchesPaper)
+{
+    AreaModel m;
+    // 24.3% x 0.5 (even banks) x 0.66 (bank area) + routing = 8.24%.
+    EXPECT_NEAR(m.dieAreaImpact(), 0.0824, 0.0005);
+}
+
+TEST(Overhead, DieAreaComponentsAsStated)
+{
+    AreaModel m;
+    EXPECT_NEAR(m.tagMatOverhead * m.evenBankFraction *
+                    m.bankAreaFraction,
+                0.0802, 0.0005);
+}
+
+TEST(TagStorageModel, ThreeBytesPer64ByteLine)
+{
+    // §II-A: a 64 GiB block cache needs 3 GiB of tag storage.
+    EXPECT_EQ(TagStorage::tagBytes(64ULL << 30), 3ULL << 30);
+    EXPECT_EQ(TagStorage::tagBytes(8ULL << 30), 384ULL << 20);
+}
+
+TEST(TagStorageModel, TagBitsForOnePetabyte)
+{
+    // §III-C5: a 64 GiB direct-mapped cache covers 1 PB with 14 tag
+    // bits.
+    EXPECT_EQ(TagStorage::tagBits(64ULL << 30, 1ULL << 50), 14u);
+    // And scales with capacity/space as expected.
+    EXPECT_EQ(TagStorage::tagBits(1ULL << 30, 1ULL << 40), 10u);
+    EXPECT_EQ(TagStorage::tagBits(1ULL << 30, 1ULL << 30), 0u);
+}
+
+} // namespace
+} // namespace tsim

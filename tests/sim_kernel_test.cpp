@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue ordering,
+ * determinism, tick accounting, and the RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/ticks.hh"
+
+namespace tsim
+{
+namespace
+{
+
+TEST(Ticks, Conversions)
+{
+    EXPECT_EQ(nsToTicks(1), 1000u);
+    EXPECT_EQ(nsToTicks(7.5), 7500u);
+    EXPECT_EQ(nsToTicks(0.5), 500u);
+    EXPECT_DOUBLE_EQ(ticksToNs(12000), 12.0);
+    EXPECT_EQ(clockPeriod(2.0), 500u);
+    EXPECT_EQ(clockPeriod(5.0), 200u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(300, [&] { order.push_back(3); });
+    eq.schedule(100, [&] { order.push_back(1); });
+    eq.schedule(200, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 300u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(500, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, CallbackCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] {
+        ++fired;
+        eq.schedule(20, [&] {
+            ++fired;
+            eq.schedule(30, [&] { ++fired; });
+        });
+    });
+    std::uint64_t n = eq.run();
+    EXPECT_EQ(n, 3u);
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickSelfSchedulingRunsSameTick)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(5, [&] {
+        if (++count < 4)
+            eq.schedule(eq.curTick(), [&] { ++count; });
+    });
+    eq.run();
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(eq.curTick(), 5u);
+}
+
+TEST(EventQueue, RunWithLimitStopsAndAdvances)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(100, [&] { ++fired; });
+    eq.schedule(200, [&] { ++fired; });
+    std::uint64_t n = eq.run(150);
+    EXPECT_EQ(n, 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.curTick(), 150u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, LimitBoundaryInclusive)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(100, [&] { ++fired; });
+    eq.run(100);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, NextEventTick)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.nextEventTick(), maxTick);
+    eq.schedule(42, [] {});
+    EXPECT_EQ(eq.nextEventTick(), 42u);
+}
+
+TEST(EventQueue, StepExecutesOneEvent)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] { ++fired; });
+    eq.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, RangeRespectsBound)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(r.range(17), 17u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(9);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+/** Property sweep: range() is roughly uniform for several bounds. */
+class RngUniformity : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(RngUniformity, BucketsRoughlyEqual)
+{
+    const std::uint64_t bound = GetParam();
+    Rng r(bound * 1234567 + 1);
+    std::vector<int> counts(bound, 0);
+    const int draws = 20000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[r.range(bound)];
+    const double expect = static_cast<double>(draws) / bound;
+    for (auto c : counts)
+        EXPECT_NEAR(c, expect, expect * 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngUniformity,
+                         ::testing::Values(2, 3, 8, 10, 17));
+
+} // namespace
+} // namespace tsim

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit and property tests for the functional tag array (direct-
+ * mapped and set-associative with LRU).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/rng.hh"
+#include "tdram/tag_array.hh"
+
+namespace tsim
+{
+namespace
+{
+
+constexpr std::uint64_t kCap = 1 << 16;  // 1024 lines
+
+TEST(TagArray, MissOnEmpty)
+{
+    TagArray t(kCap);
+    TagResult r = t.peek(0x1000);
+    EXPECT_FALSE(r.hit);
+    EXPECT_FALSE(r.valid);
+    EXPECT_FALSE(r.dirty);
+}
+
+TEST(TagArray, InstallThenHit)
+{
+    TagArray t(kCap);
+    t.install(0x1000, false);
+    TagResult r = t.peek(0x1000);
+    EXPECT_TRUE(r.hit);
+    EXPECT_TRUE(r.valid);
+    EXPECT_FALSE(r.dirty);
+    EXPECT_EQ(r.victimAddr, 0x1000u);
+}
+
+TEST(TagArray, DirectMappedConflictReportsVictim)
+{
+    TagArray t(kCap, 1);
+    const Addr a = 0x0;
+    const Addr b = a + kCap;  // same set, different tag
+    t.install(a, true);
+    TagResult r = t.peek(b);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.valid);
+    EXPECT_TRUE(r.dirty);
+    EXPECT_EQ(r.victimAddr, a);
+    t.install(b, false);
+    EXPECT_FALSE(t.isHit(a));
+    EXPECT_TRUE(t.isHit(b));
+}
+
+TEST(TagArray, DirtyTracking)
+{
+    TagArray t(kCap);
+    t.install(0x40, false);
+    EXPECT_FALSE(t.peek(0x40).dirty);
+    t.markDirty(0x40);
+    EXPECT_TRUE(t.peek(0x40).dirty);
+    t.markClean(0x40);
+    EXPECT_FALSE(t.peek(0x40).dirty);
+}
+
+TEST(TagArray, InvalidateRemovesLine)
+{
+    TagArray t(kCap);
+    t.install(0x80, true);
+    t.invalidate(0x80);
+    EXPECT_FALSE(t.isHit(0x80));
+    EXPECT_EQ(t.validCount(), 0u);
+}
+
+TEST(TagArray, LineOffsetIgnored)
+{
+    TagArray t(kCap);
+    t.install(0x1000, false);
+    EXPECT_TRUE(t.isHit(0x1000 + 63));
+}
+
+TEST(TagArray, SetAssociativeLruEviction)
+{
+    TagArray t(kCap, 4);
+    const std::uint64_t sets = t.numSets();
+    // Four lines in the same set, touched in order 0,1,2,3.
+    for (Addr i = 0; i < 4; ++i)
+        t.install(i * sets * lineBytes, false);
+    // Touch line 0 so line 1 becomes LRU.
+    t.touch(0);
+    TagResult r = t.peek(4 * sets * lineBytes);
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.victimAddr, 1 * sets * lineBytes);
+    t.install(4 * sets * lineBytes, false);
+    EXPECT_FALSE(t.isHit(1 * sets * lineBytes));
+    EXPECT_TRUE(t.isHit(0));
+}
+
+TEST(TagArray, VictimPrefersInvalidWay)
+{
+    TagArray t(kCap, 2);
+    const std::uint64_t sets = t.numSets();
+    t.install(0, true);
+    // Second way still invalid: installing must not evict line 0.
+    t.install(sets * lineBytes, false);
+    EXPECT_TRUE(t.isHit(0));
+    EXPECT_TRUE(t.isHit(sets * lineBytes));
+}
+
+TEST(TagArray, InstallIsIdempotentForResidentLine)
+{
+    TagArray t(kCap, 2);
+    t.install(0x100, false);
+    t.install(0x100, true);  // re-install updates in place
+    EXPECT_EQ(t.validCount(), 1u);
+    EXPECT_TRUE(t.peek(0x100).dirty);
+}
+
+TEST(TagArray, CapacityNeverExceeded)
+{
+    TagArray t(kCap, 1);
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        t.install(rng.range(1 << 24) * lineBytes, rng.chance(0.5));
+    EXPECT_LE(t.validCount(), kCap / lineBytes);
+}
+
+/** Property: the tag array agrees with a reference model. */
+class TagArrayModelCheck : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(TagArrayModelCheck, MatchesReferenceModel)
+{
+    const unsigned ways = GetParam();
+    TagArray t(1 << 12, ways);  // 64 lines
+    const std::uint64_t sets = t.numSets();
+
+    // Reference: per set, list of (tag, dirty) in LRU order.
+    struct RefLine
+    {
+        Addr tag;
+        bool dirty;
+    };
+    std::map<std::uint64_t, std::vector<RefLine>> ref;
+
+    Rng rng(ways * 1000 + 17);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr addr = rng.range(512) * lineBytes;
+        const std::uint64_t set = (addr / lineBytes) % sets;
+        const Addr tag = (addr / lineBytes) / sets;
+        auto &lines = ref[set];
+        auto found = std::find_if(
+            lines.begin(), lines.end(),
+            [&](const RefLine &l) { return l.tag == tag; });
+
+        TagResult r = t.peek(addr);
+        ASSERT_EQ(r.hit, found != lines.end())
+            << "iteration " << i << " addr " << std::hex << addr;
+        if (r.hit)
+            ASSERT_EQ(r.dirty, found->dirty);
+
+        // Mirror a mixed workload: 1/3 install, 1/3 touch, 1/3 dirty.
+        const auto action = rng.range(3);
+        if (action == 0) {
+            t.install(addr, false);
+            if (found != lines.end()) {
+                RefLine l{tag, false};
+                lines.erase(found);
+                lines.push_back(l);
+            } else {
+                if (lines.size() >= ways)
+                    lines.erase(lines.begin());
+                lines.push_back({tag, false});
+            }
+        } else if (r.hit) {
+            if (action == 1) {
+                t.touch(addr);
+                RefLine l = *found;
+                lines.erase(found);
+                lines.push_back(l);
+            } else {
+                t.markDirty(addr);
+                RefLine l = *found;
+                l.dirty = true;
+                lines.erase(found);
+                lines.push_back(l);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, TagArrayModelCheck,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+} // namespace
+} // namespace tsim

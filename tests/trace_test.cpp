@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Trace capture/replay tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "workload/trace.hh"
+
+namespace tsim
+{
+namespace
+{
+
+TEST(Trace, RoundTripsThroughFile)
+{
+    Trace t;
+    t.add(0x1000, false);
+    t.add(0x2040, true);
+    t.add(0xdeadbeefc0, false);
+    const std::string path = ::testing::TempDir() + "trace_rt.txt";
+    t.save(path);
+    Trace loaded = Trace::load(path);
+    ASSERT_EQ(loaded.size(), 3u);
+    EXPECT_EQ(loaded.ops()[0].addr, 0x1000u);
+    EXPECT_FALSE(loaded.ops()[0].isStore);
+    EXPECT_EQ(loaded.ops()[1].addr, 0x2040u);
+    EXPECT_TRUE(loaded.ops()[1].isStore);
+    EXPECT_EQ(loaded.ops()[2].addr, 0xdeadbeefc0u);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, LoadSkipsCommentsAndBlanks)
+{
+    const std::string path = ::testing::TempDir() + "trace_c.txt";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        std::fputs("# a comment\n\nR 0x40\nW 64\n", f);
+        std::fclose(f);
+    }
+    Trace t = Trace::load(path);
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.ops()[0].addr, 0x40u);
+    EXPECT_EQ(t.ops()[1].addr, 64u);  // decimal accepted too
+    std::remove(path.c_str());
+}
+
+TEST(Trace, MaxAddrBoundsFootprint)
+{
+    Trace t;
+    t.add(0x100, false);
+    t.add(0x10000, true);
+    EXPECT_EQ(t.maxAddr(), lineAlign(0x10000) + lineBytes);
+}
+
+TEST(TraceReplay, WrapsAndInterleaves)
+{
+    Trace t;
+    for (Addr i = 0; i < 6; ++i)
+        t.add(i * lineBytes, false);
+    Rng rng(1);
+    TraceReplayGenerator lane0(t, 0, 2);
+    TraceReplayGenerator lane1(t, 1, 2);
+    // Lane 0 sees ops 0, 2, 4, 0, 2, ...; lane 1 sees 1, 3, 5, 1 ...
+    EXPECT_EQ(lane0.next(rng).addr, 0u * lineBytes);
+    EXPECT_EQ(lane0.next(rng).addr, 2u * lineBytes);
+    EXPECT_EQ(lane0.next(rng).addr, 4u * lineBytes);
+    EXPECT_EQ(lane0.next(rng).addr, 0u * lineBytes);
+    EXPECT_EQ(lane1.next(rng).addr, 1u * lineBytes);
+    EXPECT_EQ(lane1.next(rng).addr, 3u * lineBytes);
+    EXPECT_EQ(lane1.next(rng).addr, 5u * lineBytes);
+}
+
+} // namespace
+} // namespace tsim
