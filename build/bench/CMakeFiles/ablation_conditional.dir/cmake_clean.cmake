@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_conditional.dir/ablation_conditional.cpp.o"
+  "CMakeFiles/ablation_conditional.dir/ablation_conditional.cpp.o.d"
+  "ablation_conditional"
+  "ablation_conditional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_conditional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

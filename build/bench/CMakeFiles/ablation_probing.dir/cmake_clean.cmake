@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_probing.dir/ablation_probing.cpp.o"
+  "CMakeFiles/ablation_probing.dir/ablation_probing.cpp.o.d"
+  "ablation_probing"
+  "ablation_probing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_probing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

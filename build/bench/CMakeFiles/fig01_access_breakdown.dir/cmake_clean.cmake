@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_access_breakdown.dir/fig01_access_breakdown.cpp.o"
+  "CMakeFiles/fig01_access_breakdown.dir/fig01_access_breakdown.cpp.o.d"
+  "fig01_access_breakdown"
+  "fig01_access_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_access_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

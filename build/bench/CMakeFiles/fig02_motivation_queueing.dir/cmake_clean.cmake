@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_motivation_queueing.dir/fig02_motivation_queueing.cpp.o"
+  "CMakeFiles/fig02_motivation_queueing.dir/fig02_motivation_queueing.cpp.o.d"
+  "fig02_motivation_queueing"
+  "fig02_motivation_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_motivation_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_motivation_bloat.dir/fig03_motivation_bloat.cpp.o"
+  "CMakeFiles/fig03_motivation_bloat.dir/fig03_motivation_bloat.cpp.o.d"
+  "fig03_motivation_bloat"
+  "fig03_motivation_bloat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_motivation_bloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_overhead_report.dir/fig04_overhead_report.cpp.o"
+  "CMakeFiles/fig04_overhead_report.dir/fig04_overhead_report.cpp.o.d"
+  "fig04_overhead_report"
+  "fig04_overhead_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_overhead_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_07_timing_diagrams.dir/fig05_07_timing_diagrams.cpp.o"
+  "CMakeFiles/fig05_07_timing_diagrams.dir/fig05_07_timing_diagrams.cpp.o.d"
+  "fig05_07_timing_diagrams"
+  "fig05_07_timing_diagrams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_07_timing_diagrams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

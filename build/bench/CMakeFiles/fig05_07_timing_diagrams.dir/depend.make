@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_07_timing_diagrams.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_queueing_delay.dir/fig10_queueing_delay.cpp.o"
+  "CMakeFiles/fig10_queueing_delay.dir/fig10_queueing_delay.cpp.o.d"
+  "fig10_queueing_delay"
+  "fig10_queueing_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_queueing_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_speedup_vs_cl.dir/fig11_speedup_vs_cl.cpp.o"
+  "CMakeFiles/fig11_speedup_vs_cl.dir/fig11_speedup_vs_cl.cpp.o.d"
+  "fig11_speedup_vs_cl"
+  "fig11_speedup_vs_cl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_speedup_vs_cl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secVD_predictor.dir/secVD_predictor.cpp.o"
+  "CMakeFiles/secVD_predictor.dir/secVD_predictor.cpp.o.d"
+  "secVD_predictor"
+  "secVD_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secVD_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

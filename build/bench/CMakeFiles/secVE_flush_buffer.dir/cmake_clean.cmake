@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secVE_flush_buffer.dir/secVE_flush_buffer.cpp.o"
+  "CMakeFiles/secVE_flush_buffer.dir/secVE_flush_buffer.cpp.o.d"
+  "secVE_flush_buffer"
+  "secVE_flush_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secVE_flush_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

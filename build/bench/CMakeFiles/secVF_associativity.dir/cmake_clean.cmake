@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secVF_associativity.dir/secVF_associativity.cpp.o"
+  "CMakeFiles/secVF_associativity.dir/secVF_associativity.cpp.o.d"
+  "secVF_associativity"
+  "secVF_associativity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secVF_associativity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

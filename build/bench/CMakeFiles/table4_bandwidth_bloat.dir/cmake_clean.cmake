@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_bandwidth_bloat.dir/table4_bandwidth_bloat.cpp.o"
+  "CMakeFiles/table4_bandwidth_bloat.dir/table4_bandwidth_bloat.cpp.o.d"
+  "table4_bandwidth_bloat"
+  "table4_bandwidth_bloat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_bandwidth_bloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

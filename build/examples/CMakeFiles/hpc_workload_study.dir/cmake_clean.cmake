@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_workload_study.dir/hpc_workload_study.cpp.o"
+  "CMakeFiles/hpc_workload_study.dir/hpc_workload_study.cpp.o.d"
+  "hpc_workload_study"
+  "hpc_workload_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_workload_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

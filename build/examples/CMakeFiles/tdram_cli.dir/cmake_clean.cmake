@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdram_cli.dir/tdram_cli.cpp.o"
+  "CMakeFiles/tdram_cli.dir/tdram_cli.cpp.o.d"
+  "tdram_cli"
+  "tdram_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdram_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

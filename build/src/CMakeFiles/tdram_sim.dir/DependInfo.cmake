@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dcache/conventional.cc" "src/CMakeFiles/tdram_sim.dir/dcache/conventional.cc.o" "gcc" "src/CMakeFiles/tdram_sim.dir/dcache/conventional.cc.o.d"
+  "/root/repo/src/dcache/dram_cache.cc" "src/CMakeFiles/tdram_sim.dir/dcache/dram_cache.cc.o" "gcc" "src/CMakeFiles/tdram_sim.dir/dcache/dram_cache.cc.o.d"
+  "/root/repo/src/dcache/factory.cc" "src/CMakeFiles/tdram_sim.dir/dcache/factory.cc.o" "gcc" "src/CMakeFiles/tdram_sim.dir/dcache/factory.cc.o.d"
+  "/root/repo/src/dcache/in_dram.cc" "src/CMakeFiles/tdram_sim.dir/dcache/in_dram.cc.o" "gcc" "src/CMakeFiles/tdram_sim.dir/dcache/in_dram.cc.o.d"
+  "/root/repo/src/dcache/simple.cc" "src/CMakeFiles/tdram_sim.dir/dcache/simple.cc.o" "gcc" "src/CMakeFiles/tdram_sim.dir/dcache/simple.cc.o.d"
+  "/root/repo/src/dram/channel.cc" "src/CMakeFiles/tdram_sim.dir/dram/channel.cc.o" "gcc" "src/CMakeFiles/tdram_sim.dir/dram/channel.cc.o.d"
+  "/root/repo/src/dram/main_memory.cc" "src/CMakeFiles/tdram_sim.dir/dram/main_memory.cc.o" "gcc" "src/CMakeFiles/tdram_sim.dir/dram/main_memory.cc.o.d"
+  "/root/repo/src/dram/timing.cc" "src/CMakeFiles/tdram_sim.dir/dram/timing.cc.o" "gcc" "src/CMakeFiles/tdram_sim.dir/dram/timing.cc.o.d"
+  "/root/repo/src/energy/energy.cc" "src/CMakeFiles/tdram_sim.dir/energy/energy.cc.o" "gcc" "src/CMakeFiles/tdram_sim.dir/energy/energy.cc.o.d"
+  "/root/repo/src/mem/types.cc" "src/CMakeFiles/tdram_sim.dir/mem/types.cc.o" "gcc" "src/CMakeFiles/tdram_sim.dir/mem/types.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/tdram_sim.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/tdram_sim.dir/sim/logging.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/tdram_sim.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/tdram_sim.dir/stats/stats.cc.o.d"
+  "/root/repo/src/system/system.cc" "src/CMakeFiles/tdram_sim.dir/system/system.cc.o" "gcc" "src/CMakeFiles/tdram_sim.dir/system/system.cc.o.d"
+  "/root/repo/src/tdram/ecc.cc" "src/CMakeFiles/tdram_sim.dir/tdram/ecc.cc.o" "gcc" "src/CMakeFiles/tdram_sim.dir/tdram/ecc.cc.o.d"
+  "/root/repo/src/tdram/overhead.cc" "src/CMakeFiles/tdram_sim.dir/tdram/overhead.cc.o" "gcc" "src/CMakeFiles/tdram_sim.dir/tdram/overhead.cc.o.d"
+  "/root/repo/src/workload/core_engine.cc" "src/CMakeFiles/tdram_sim.dir/workload/core_engine.cc.o" "gcc" "src/CMakeFiles/tdram_sim.dir/workload/core_engine.cc.o.d"
+  "/root/repo/src/workload/profiles.cc" "src/CMakeFiles/tdram_sim.dir/workload/profiles.cc.o" "gcc" "src/CMakeFiles/tdram_sim.dir/workload/profiles.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/tdram_sim.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/tdram_sim.dir/workload/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

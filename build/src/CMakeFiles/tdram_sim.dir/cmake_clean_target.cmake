@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtdram_sim.a"
+)

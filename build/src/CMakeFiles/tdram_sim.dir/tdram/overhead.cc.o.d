@@ -1,0 +1,3 @@
+src/CMakeFiles/tdram_sim.dir/tdram/overhead.cc.o: \
+ /root/repo/src/tdram/overhead.cc /usr/include/stdc-predef.h \
+ /root/repo/src/tdram/overhead.hh

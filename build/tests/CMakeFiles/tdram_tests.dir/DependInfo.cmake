@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/address_map_test.cpp" "tests/CMakeFiles/tdram_tests.dir/address_map_test.cpp.o" "gcc" "tests/CMakeFiles/tdram_tests.dir/address_map_test.cpp.o.d"
+  "/root/repo/tests/channel_stress_test.cpp" "tests/CMakeFiles/tdram_tests.dir/channel_stress_test.cpp.o" "gcc" "tests/CMakeFiles/tdram_tests.dir/channel_stress_test.cpp.o.d"
+  "/root/repo/tests/channel_test.cpp" "tests/CMakeFiles/tdram_tests.dir/channel_test.cpp.o" "gcc" "tests/CMakeFiles/tdram_tests.dir/channel_test.cpp.o.d"
+  "/root/repo/tests/core_engine_test.cpp" "tests/CMakeFiles/tdram_tests.dir/core_engine_test.cpp.o" "gcc" "tests/CMakeFiles/tdram_tests.dir/core_engine_test.cpp.o.d"
+  "/root/repo/tests/dcache_test.cpp" "tests/CMakeFiles/tdram_tests.dir/dcache_test.cpp.o" "gcc" "tests/CMakeFiles/tdram_tests.dir/dcache_test.cpp.o.d"
+  "/root/repo/tests/ecc_test.cpp" "tests/CMakeFiles/tdram_tests.dir/ecc_test.cpp.o" "gcc" "tests/CMakeFiles/tdram_tests.dir/ecc_test.cpp.o.d"
+  "/root/repo/tests/energy_test.cpp" "tests/CMakeFiles/tdram_tests.dir/energy_test.cpp.o" "gcc" "tests/CMakeFiles/tdram_tests.dir/energy_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/tdram_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/tdram_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/flush_buffer_test.cpp" "tests/CMakeFiles/tdram_tests.dir/flush_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/tdram_tests.dir/flush_buffer_test.cpp.o.d"
+  "/root/repo/tests/generator_test.cpp" "tests/CMakeFiles/tdram_tests.dir/generator_test.cpp.o" "gcc" "tests/CMakeFiles/tdram_tests.dir/generator_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/tdram_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/tdram_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/logging_test.cpp" "tests/CMakeFiles/tdram_tests.dir/logging_test.cpp.o" "gcc" "tests/CMakeFiles/tdram_tests.dir/logging_test.cpp.o.d"
+  "/root/repo/tests/main_memory_test.cpp" "tests/CMakeFiles/tdram_tests.dir/main_memory_test.cpp.o" "gcc" "tests/CMakeFiles/tdram_tests.dir/main_memory_test.cpp.o.d"
+  "/root/repo/tests/overhead_test.cpp" "tests/CMakeFiles/tdram_tests.dir/overhead_test.cpp.o" "gcc" "tests/CMakeFiles/tdram_tests.dir/overhead_test.cpp.o.d"
+  "/root/repo/tests/page_policy_test.cpp" "tests/CMakeFiles/tdram_tests.dir/page_policy_test.cpp.o" "gcc" "tests/CMakeFiles/tdram_tests.dir/page_policy_test.cpp.o.d"
+  "/root/repo/tests/protocol_test.cpp" "tests/CMakeFiles/tdram_tests.dir/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/tdram_tests.dir/protocol_test.cpp.o.d"
+  "/root/repo/tests/reference_model_test.cpp" "tests/CMakeFiles/tdram_tests.dir/reference_model_test.cpp.o" "gcc" "tests/CMakeFiles/tdram_tests.dir/reference_model_test.cpp.o.d"
+  "/root/repo/tests/sim_kernel_test.cpp" "tests/CMakeFiles/tdram_tests.dir/sim_kernel_test.cpp.o" "gcc" "tests/CMakeFiles/tdram_tests.dir/sim_kernel_test.cpp.o.d"
+  "/root/repo/tests/sram_cache_test.cpp" "tests/CMakeFiles/tdram_tests.dir/sram_cache_test.cpp.o" "gcc" "tests/CMakeFiles/tdram_tests.dir/sram_cache_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/tdram_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/tdram_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/system_test.cpp" "tests/CMakeFiles/tdram_tests.dir/system_test.cpp.o" "gcc" "tests/CMakeFiles/tdram_tests.dir/system_test.cpp.o.d"
+  "/root/repo/tests/tag_array_test.cpp" "tests/CMakeFiles/tdram_tests.dir/tag_array_test.cpp.o" "gcc" "tests/CMakeFiles/tdram_tests.dir/tag_array_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/tdram_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/tdram_tests.dir/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tdram_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
