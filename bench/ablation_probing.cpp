@@ -16,6 +16,8 @@ main(int argc, char **argv)
     using namespace tsim;
     const bench::Options opts = bench::parseArgs(argc, argv);
     bench::RunCache runs(opts);
+    runs.warm({Design::Tdram, Design::TdramNoProbe, Design::Ndc},
+              bench::workloadSet(opts));
 
     std::printf("Probing ablation: tag check (ns) and runtime (us)\n");
     std::printf("%-9s | %9s %9s %9s | %9s %9s %9s | %9s\n",

@@ -1,8 +1,9 @@
 /**
  * @file
  * Shared plumbing for the per-figure/table benchmark harnesses:
- * command-line handling (--full for all 28 workloads, --ops N),
- * cached per-(design, workload) runs, and geomean helpers.
+ * command-line handling (--full for all 28 workloads, --ops N,
+ * --jobs N), cached per-(design, workload) runs with parallel
+ * prefetching, host-throughput reporting, and geomean helpers.
  */
 
 #ifndef TSIM_BENCH_BENCH_COMMON_HH
@@ -15,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/sweep_runner.hh"
+#include "stats/host_perf.hh"
 #include "system/system.hh"
 
 namespace bench
@@ -27,6 +30,7 @@ struct Options
     std::uint64_t opsPerCore = 8000;
     std::uint64_t warmupOpsPerCore = 150000;
     std::uint64_t seed = 1;
+    unsigned jobs = 0;            ///< workers; 0 = hardware_concurrency
 };
 
 inline Options
@@ -44,10 +48,13 @@ parseArgs(int argc, char **argv)
             o.warmupOpsPerCore = std::strtoull(argv[++i], nullptr, 10);
         } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
             o.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            o.jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
         } else {
             std::fprintf(stderr,
                          "usage: %s [--full] [--ops N] [--warmup N] "
-                         "[--seed N]\n",
+                         "[--seed N] [--jobs N]\n",
                          argv[0]);
             std::exit(1);
         }
@@ -73,29 +80,91 @@ baseConfig(const Options &o, tsim::Design d)
     return cfg;
 }
 
-/** Run (or fetch the cached run of) one design/workload pair. */
+/**
+ * Run (or fetch the cached run of) one design/workload pair.
+ *
+ * warm() runs a whole grid up front on the SweepRunner pool; get()
+ * then serves cached reports, so the harness output stays serial and
+ * deterministic while the simulations run concurrently. On
+ * destruction the cache reports aggregate host throughput (events/s,
+ * simulated-ns per host-second) to stderr.
+ */
 class RunCache
 {
   public:
     explicit RunCache(const Options &o) : _opts(o) {}
 
+    ~RunCache() { reportHostPerf(); }
+
+    /** Prefetch every (design, workload) pair in parallel. */
+    void
+    warm(const std::vector<tsim::Design> &designs,
+         const std::vector<tsim::WorkloadProfile> &workloads)
+    {
+        std::vector<tsim::SweepJob> jobs;
+        std::vector<std::string> keys;
+        for (tsim::Design d : designs) {
+            for (const auto &wl : workloads) {
+                std::string key = cacheKey(d, wl);
+                if (_runs.count(key))
+                    continue;
+                jobs.push_back(
+                    tsim::SweepJob{baseConfig(_opts, d), wl});
+                keys.push_back(std::move(key));
+            }
+        }
+        const tsim::SweepRunner runner(_opts.jobs);
+        std::vector<tsim::SimReport> reports = runner.run(jobs);
+        for (std::size_t i = 0; i < reports.size(); ++i) {
+            _perf.merge(reports[i].hostPerf);
+            _runs.emplace(keys[i], std::move(reports[i]));
+        }
+    }
+
     const tsim::SimReport &
     get(tsim::Design d, const tsim::WorkloadProfile &wl)
     {
-        const std::string key =
-            std::string(tsim::designName(d)) + "/" + wl.name;
+        const std::string key = cacheKey(d, wl);
         auto it = _runs.find(key);
         if (it != _runs.end())
             return it->second;
         tsim::SystemConfig cfg = baseConfig(_opts, d);
         auto [pos, ok] = _runs.emplace(key, tsim::runOne(cfg, wl));
         (void)ok;
+        _perf.merge(pos->second.hostPerf);
         return pos->second;
     }
 
+    /** Aggregate host throughput over every run so far. */
+    const tsim::HostPerf &hostPerf() const { return _perf; }
+
+    /** Print the host-throughput summary to stderr (idempotent). */
+    void
+    reportHostPerf()
+    {
+        if (_perfReported || _perf.runs == 0)
+            return;
+        _perfReported = true;
+        std::fprintf(stderr,
+                     "[host] %llu runs, %llu events, %.2fs host time, "
+                     "%.2fM events/s, %.1f sim-us per host-s\n",
+                     (unsigned long long)_perf.runs,
+                     (unsigned long long)_perf.events,
+                     _perf.hostSeconds, _perf.eventsPerSec() / 1e6,
+                     _perf.simNsPerHostSec() / 1e3);
+    }
+
   private:
+    static std::string
+    cacheKey(tsim::Design d, const tsim::WorkloadProfile &wl)
+    {
+        return std::string(tsim::designName(d)) + "/" + wl.name;
+    }
+
     Options _opts;
     std::map<std::string, tsim::SimReport> _runs;
+    tsim::HostPerf _perf;
+    bool _perfReported = false;
 };
 
 /** Geomean of per-workload ratios base/x (speedups). */

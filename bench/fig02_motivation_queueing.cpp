@@ -17,6 +17,8 @@ main(int argc, char **argv)
     using namespace tsim;
     const bench::Options opts = bench::parseArgs(argc, argv);
     bench::RunCache runs(opts);
+    runs.warm({Design::NoCache, Design::CascadeLake, Design::Alloy, Design::Bear},
+              bench::workloadSet(opts));
 
     const Design designs[] = {Design::CascadeLake, Design::Alloy,
                               Design::Bear};

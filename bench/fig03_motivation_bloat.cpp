@@ -17,6 +17,8 @@ main(int argc, char **argv)
     using namespace tsim;
     const bench::Options opts = bench::parseArgs(argc, argv);
     bench::RunCache runs(opts);
+    runs.warm({Design::CascadeLake, Design::Alloy, Design::Bear, Design::Tdram},
+              bench::workloadSet(opts));
 
     std::printf(
         "Figure 3: unuseful fraction of DRAM-cache traffic (%%)\n");

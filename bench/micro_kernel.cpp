@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Event-kernel microbenchmark: events/sec and allocations/event for
+ * the production EventQueue versus the seed design (std::function
+ * callbacks in a std::priority_queue), which is embedded here as the
+ * fixed baseline.
+ *
+ * The driver replays the simulator's real event mix: many
+ * self-rescheduling handlers with small captures at short DRAM-
+ * timing horizons (hundreds to thousands of ticks) plus a periodic
+ * far-future refresh event, all interleaved with same-tick
+ * rescheduling. Heap traffic during the measured region is counted
+ * by a global operator new/delete override.
+ *
+ * Emits BENCH_kernel.json (override with --out FILE) so future PRs
+ * can track the kernel's perf trajectory.
+ *
+ * Usage: micro_kernel [--events N] [--handlers N] [--out FILE]
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <new>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/ticks.hh"
+
+// ---------------------------------------------------------------------
+// Global allocation counter. Counts every operator new in the
+// process; the harness reads deltas around the measured region.
+// ---------------------------------------------------------------------
+
+namespace
+{
+std::atomic<std::uint64_t> g_allocCount{0};
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                     size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete(void *p, std::align_val_t) noexcept { std::free(p); }
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// The seed kernel, verbatim in behaviour: type-erased std::function
+// callbacks, one priority_queue of fat events, move-out-of-top.
+// Kept here (not in the library) as the fixed comparison point.
+// ---------------------------------------------------------------------
+
+class LegacyEventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    tsim::Tick curTick() const { return _curTick; }
+
+    void
+    schedule(tsim::Tick when, Callback cb)
+    {
+        _events.push(Event{when, _nextSeq++, std::move(cb)});
+    }
+
+    void
+    scheduleIn(tsim::Tick delay, Callback cb)
+    {
+        schedule(_curTick + delay, std::move(cb));
+    }
+
+    bool empty() const { return _events.empty(); }
+
+    bool
+    step()
+    {
+        if (_events.empty())
+            return false;
+        Event ev = std::move(const_cast<Event &>(_events.top()));
+        _events.pop();
+        _curTick = ev.when;
+        ev.cb();
+        return true;
+    }
+
+  private:
+    struct Event
+    {
+        tsim::Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> _events;
+    tsim::Tick _curTick = 0;
+    std::uint64_t _nextSeq = 0;
+};
+
+// ---------------------------------------------------------------------
+// Workload: mirrors the simulator's event population.
+// ---------------------------------------------------------------------
+
+/** Capture footprint comparable to the channel/dcache lambdas. */
+struct HandlerState
+{
+    std::uint64_t id = 0;
+    std::uint64_t fired = 0;
+    tsim::Tick lastTick = 0;
+    std::uint64_t checksum = 0;
+};
+
+/**
+ * Drive @p eq until @p target events executed: `handlers` ping
+ * events hopping across short DRAM-style delays (with a same-tick
+ * hop mixed in) and one refresh event at the tREFI horizon.
+ *
+ * @return checksum over the execution order (for cross-checking the
+ *         two kernels executed identical schedules).
+ */
+template <typename Queue>
+std::uint64_t
+drive(Queue &eq, unsigned handlers, std::uint64_t target)
+{
+    static const tsim::Tick delays[] = {500, 1330, 2660, 5000, 15000,
+                                        0,   700,  9000};
+    std::uint64_t executed = 0;
+    std::uint64_t checksum = 0;
+    std::vector<HandlerState> state(handlers);
+
+    std::function<void(unsigned)> hop = [&](unsigned h) {
+        HandlerState &s = state[h];
+        ++executed;
+        ++s.fired;
+        s.lastTick = eq.curTick();
+        checksum = checksum * 1099511628211ULL ^ (h + s.fired);
+        if (executed >= target)
+            return;
+        const tsim::Tick d =
+            delays[(s.fired + h) % (sizeof(delays) / sizeof(delays[0]))];
+        HandlerState *sp = &s;
+        tsim::Tick now = eq.curTick();
+        eq.scheduleIn(d, [&hop, h, sp, now] {
+            sp->checksum ^= now;
+            hop(h);
+        });
+    };
+
+    std::function<void()> refresh = [&] {
+        checksum ^= eq.curTick();
+        if (executed < target)
+            eq.scheduleIn(tsim::nsToTicks(3900.0), refresh);
+    };
+
+    for (unsigned h = 0; h < handlers; ++h)
+        eq.schedule(h % 97, [&hop, h] { hop(h); });
+    eq.scheduleIn(tsim::nsToTicks(3900.0), refresh);
+
+    // Drive one event at a time, exactly as System::run does; stop at
+    // exactly `target` so both kernels execute the identical stream.
+    while (executed < target && eq.step())
+        ;
+    return checksum;
+}
+
+struct Measurement
+{
+    double eventsPerSec = 0;
+    double allocsPerEvent = 0;
+    std::uint64_t checksum = 0;
+};
+
+template <typename Queue>
+Measurement
+measure(unsigned handlers, std::uint64_t events)
+{
+    // Warm-up pass: populates pools/arenas so the measured region
+    // reflects steady state.
+    {
+        Queue warm;
+        drive(warm, handlers, events / 8 + 1);
+    }
+    Queue eq;
+    const std::uint64_t allocs0 =
+        g_allocCount.load(std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t checksum = drive(eq, handlers, events);
+    const auto t1 = std::chrono::steady_clock::now();
+    const std::uint64_t allocs1 =
+        g_allocCount.load(std::memory_order_relaxed);
+
+    Measurement m;
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    m.eventsPerSec = static_cast<double>(events) / secs;
+    m.allocsPerEvent = static_cast<double>(allocs1 - allocs0) /
+                       static_cast<double>(events);
+    m.checksum = checksum;
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t events = 3000000;
+    unsigned handlers = 64;
+    std::string out = "BENCH_kernel.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+            events = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--handlers") == 0 &&
+                   i + 1 < argc) {
+            handlers = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out = argv[++i];
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: %s [--events N] [--handlers N] [--out FILE]\n",
+                argv[0]);
+            return 1;
+        }
+    }
+    if (events == 0) {
+        std::fprintf(stderr, "--events must be > 0\n");
+        return 1;
+    }
+
+    const std::uint64_t fallbacks0 = tsim::InlineFunction::heapFallbacks();
+    const Measurement fast = measure<tsim::EventQueue>(handlers, events);
+    const std::uint64_t fastFallbacks =
+        tsim::InlineFunction::heapFallbacks() - fallbacks0;
+    const Measurement legacy = measure<LegacyEventQueue>(handlers, events);
+
+    if (fast.checksum != legacy.checksum) {
+        std::fprintf(stderr,
+                     "FAIL: kernels diverged (checksum %llx vs %llx)\n",
+                     (unsigned long long)fast.checksum,
+                     (unsigned long long)legacy.checksum);
+        return 1;
+    }
+
+    const double speedup = fast.eventsPerSec / legacy.eventsPerSec;
+    std::printf("micro_kernel: %llu events, %u handlers\n",
+                (unsigned long long)events, handlers);
+    std::printf("  fast    %10.2fM events/s  %.4f allocs/event  "
+                "%llu SBO fallbacks\n",
+                fast.eventsPerSec / 1e6, fast.allocsPerEvent,
+                (unsigned long long)fastFallbacks);
+    std::printf("  legacy  %10.2fM events/s  %.4f allocs/event\n",
+                legacy.eventsPerSec / 1e6, legacy.allocsPerEvent);
+    std::printf("  speedup %10.2fx\n", speedup);
+
+    if (std::FILE *f = std::fopen(out.c_str(), "w")) {
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"bench\": \"micro_kernel\",\n"
+            "  \"events\": %llu,\n"
+            "  \"handlers\": %u,\n"
+            "  \"fast\": {\n"
+            "    \"events_per_sec\": %.0f,\n"
+            "    \"allocs_per_event\": %.6f,\n"
+            "    \"sbo_heap_fallbacks\": %llu\n"
+            "  },\n"
+            "  \"legacy\": {\n"
+            "    \"events_per_sec\": %.0f,\n"
+            "    \"allocs_per_event\": %.6f\n"
+            "  },\n"
+            "  \"speedup\": %.3f\n"
+            "}\n",
+            (unsigned long long)events, handlers, fast.eventsPerSec,
+            fast.allocsPerEvent, (unsigned long long)fastFallbacks,
+            legacy.eventsPerSec, legacy.allocsPerEvent, speedup);
+        std::fclose(f);
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", out.c_str());
+        return 1;
+    }
+    return 0;
+}

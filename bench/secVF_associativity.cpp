@@ -15,6 +15,8 @@ main(int argc, char **argv)
     using namespace tsim;
     const bench::Options opts = bench::parseArgs(argc, argv);
     bench::RunCache runs(opts);
+    runs.warm({Design::NoCache},
+              bench::workloadSet(opts));
 
     std::printf("SecV-F: set-associative TDRAM, speedup vs "
                 "no-DRAM-cache\n");

@@ -18,6 +18,8 @@ main(int argc, char **argv)
     using namespace tsim;
     const bench::Options opts = bench::parseArgs(argc, argv);
     bench::RunCache runs(opts);
+    runs.warm({Design::CascadeLake, Design::Alloy, Design::Bear, Design::Ndc, Design::Tdram},
+              bench::workloadSet(opts));
 
     const Design designs[] = {Design::CascadeLake, Design::Alloy,
                               Design::Bear, Design::Ndc,

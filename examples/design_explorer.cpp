@@ -1,17 +1,28 @@
 /**
  * @file
- * Design explorer: run one workload on one design and dump the full
- * statistics tree plus the access-outcome breakdown — the tool to
- * reach for when a number in a benchmark looks surprising.
+ * Design explorer. Two modes:
+ *
+ *  - Single run (default): run one workload on one design and dump
+ *    the full statistics tree plus the access-outcome breakdown —
+ *    the tool to reach for when a number in a benchmark looks
+ *    surprising.
+ *  - Sweep (--sweep): run the full (design x workload) grid on the
+ *    SweepRunner thread pool and print one deterministic summary
+ *    line per run. Output is byte-identical for any --jobs value;
+ *    host throughput goes to stderr.
  *
  * Usage: design_explorer [workload] [design] [opsPerCore]
+ *        design_explorer --sweep [--full] [--jobs N] [--ops N]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "sim/sweep_runner.hh"
 #include "system/system.hh"
 
 namespace
@@ -33,6 +44,54 @@ parseDesign(const std::string &s)
     std::exit(1);
 }
 
+int
+runSweep(bool full, unsigned jobs, std::uint64_t ops)
+{
+    using namespace tsim;
+
+    const Design designs[] = {Design::CascadeLake, Design::Alloy,
+                              Design::Bear,        Design::Ndc,
+                              Design::Tdram,       Design::TdramNoProbe,
+                              Design::Ideal};
+    const std::vector<WorkloadProfile> workloads =
+        full ? allWorkloads() : representativeWorkloads();
+
+    std::vector<SweepJob> sweep;
+    for (const auto &wl : workloads) {
+        for (Design d : designs) {
+            SweepJob job;
+            job.cfg.design = d;
+            job.cfg.cores.opsPerCore = ops;
+            job.workload = wl;
+            sweep.push_back(std::move(job));
+        }
+    }
+
+    const SweepRunner runner(jobs);
+    const HostTimer timer;
+    const std::vector<SimReport> reports = runner.run(sweep);
+    const double wall = timer.seconds();
+
+    std::printf("%-9s %-12s %12s %9s %9s %9s %9s\n", "workload",
+                "design", "runtime_us", "miss", "rd_lat", "bloat",
+                "energy_mJ");
+    HostPerf perf;
+    for (const SimReport &r : reports) {
+        perf.merge(r.hostPerf);
+        std::printf("%-9s %-12s %12.1f %9.4f %9.2f %9.3f %9.3f\n",
+                    r.workload.c_str(), r.design.c_str(),
+                    r.runtimeNs() / 1e3, r.missRatio,
+                    r.demandReadLatencyNs, r.bloat,
+                    r.energy.totalJ() * 1e3);
+    }
+    std::fprintf(stderr,
+                 "[host] %zu runs on %u workers: %.2fs wall "
+                 "(%.2fs cpu), %.2fM events/s aggregate\n",
+                 reports.size(), runner.jobs(), wall,
+                 perf.hostSeconds, perf.eventsPerSec() / 1e6);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -40,10 +99,36 @@ main(int argc, char **argv)
 {
     using namespace tsim;
 
-    const std::string wl_name = argc > 1 ? argv[1] : "ft.C";
-    const std::string design = argc > 2 ? argv[2] : "TDRAM";
-    const std::uint64_t ops =
-        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 20000;
+    bool sweep = false;
+    bool full = false;
+    unsigned jobs = 0;
+    std::uint64_t ops = 20000;
+    std::vector<std::string> positional;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--sweep") == 0) {
+            sweep = true;
+        } else if (std::strcmp(argv[i], "--full") == 0) {
+            full = true;
+        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
+            ops = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            positional.push_back(argv[i]);
+        }
+    }
+
+    if (sweep)
+        return runSweep(full, jobs, ops);
+
+    const std::string wl_name =
+        positional.size() > 0 ? positional[0] : "ft.C";
+    const std::string design =
+        positional.size() > 1 ? positional[1] : "TDRAM";
+    if (positional.size() > 2)
+        ops = std::strtoull(positional[2].c_str(), nullptr, 10);
 
     SystemConfig cfg;
     cfg.design = parseDesign(design);
@@ -71,6 +156,10 @@ main(int argc, char **argv)
                 r.flushMaxOcc, r.flushAvgOcc,
                 (unsigned long long)r.flushStalls);
     std::printf("probes           %llu\n", (unsigned long long)r.probes);
+    std::printf("host throughput  %.2fM events/s (%llu events, %.2fs)\n",
+                r.hostPerf.eventsPerSec() / 1e6,
+                (unsigned long long)r.hostPerf.events,
+                r.hostPerf.hostSeconds);
     std::printf("\noutcome breakdown:\n");
     for (unsigned i = 0;
          i < static_cast<unsigned>(AccessOutcome::NumOutcomes); ++i) {

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only callable, the event-callback type
+ * of the simulation kernel.
+ *
+ * Every event the simulator schedules captures a handful of words (a
+ * component pointer, an address, a tick); wrapping those in a
+ * std::function means one heap allocation and one indirect free per
+ * event, which dominates the kernel's cost at tens of millions of
+ * events per run. InlineFunction stores any callable up to
+ * `inlineCapacity` bytes directly inside the object, so the kernel's
+ * schedule/execute fast path never touches the allocator. Oversized
+ * or over-aligned callables still work via a counted heap fallback;
+ * the counter lets tests and the kernel microbenchmark assert that
+ * the simulator's real capture sizes stay on the inline path.
+ */
+
+#ifndef TSIM_SIM_INLINE_FUNCTION_HH
+#define TSIM_SIM_INLINE_FUNCTION_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tsim
+{
+
+/** Move-only `void()` callable with inline storage. */
+class InlineFunction
+{
+  public:
+    /**
+     * Inline storage size. Sized for the largest capture the
+     * components use today (a std::function copy + a TagResult + a
+     * Tick is 64 bytes) plus headroom.
+     */
+    static constexpr std::size_t inlineCapacity = 80;
+
+    InlineFunction() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction>>>
+    InlineFunction(F &&f)
+    {
+        emplace(std::forward<F>(f));
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept { moveFrom(other); }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    /** Invoke the stored callable (must not be empty). */
+    void operator()() { _invoke(_storage); }
+
+    explicit operator bool() const { return _invoke != nullptr; }
+
+    /** Destroy the stored callable, leaving the object empty. */
+    void
+    reset()
+    {
+        if (_manage)
+            _manage(Op::Destroy, nullptr, _storage);
+        _invoke = nullptr;
+        _manage = nullptr;
+    }
+
+    /**
+     * Number of callables (process-wide) that did not fit inline and
+     * fell back to the heap. The kernel tests assert this stays flat
+     * for the capture sizes the simulator actually uses.
+     */
+    static std::uint64_t
+    heapFallbacks()
+    {
+        return s_heapFallbacks.load(std::memory_order_relaxed);
+    }
+
+  private:
+    enum class Op
+    {
+        Destroy,  ///< destroy the callable at src
+        Move,     ///< move-construct dst from src, destroy src
+    };
+
+    using Invoke = void (*)(void *);
+    using Manage = void (*)(Op, void *dst, void *src);
+
+    template <typename F>
+    void
+    emplace(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        constexpr bool fits =
+            sizeof(Fn) <= inlineCapacity &&
+            alignof(Fn) <= alignof(std::max_align_t) &&
+            std::is_nothrow_move_constructible_v<Fn>;
+        if constexpr (fits) {
+            ::new (static_cast<void *>(_storage))
+                Fn(std::forward<F>(f));
+            _invoke = [](void *p) { (*static_cast<Fn *>(p))(); };
+            _manage = [](Op op, void *dst, void *src) {
+                auto *s = static_cast<Fn *>(src);
+                if (op == Op::Move) {
+                    ::new (dst) Fn(std::move(*s));
+                }
+                s->~Fn();
+            };
+        } else {
+            // Heap fallback: the buffer holds a single Fn*.
+            s_heapFallbacks.fetch_add(1, std::memory_order_relaxed);
+            auto *heap = new Fn(std::forward<F>(f));
+            ::new (static_cast<void *>(_storage)) Fn *(heap);
+            _invoke = [](void *p) { (**static_cast<Fn **>(p))(); };
+            _manage = [](Op op, void *dst, void *src) {
+                Fn *s = *static_cast<Fn **>(src);
+                if (op == Op::Move)
+                    ::new (dst) Fn *(s);
+                else
+                    delete s;
+            };
+        }
+    }
+
+    void
+    moveFrom(InlineFunction &other) noexcept
+    {
+        _invoke = other._invoke;
+        _manage = other._manage;
+        if (_manage)
+            _manage(Op::Move, _storage, other._storage);
+        other._invoke = nullptr;
+        other._manage = nullptr;
+    }
+
+    inline static std::atomic<std::uint64_t> s_heapFallbacks{0};
+
+    alignas(std::max_align_t) unsigned char _storage[inlineCapacity];
+    Invoke _invoke = nullptr;
+    Manage _manage = nullptr;
+};
+
+} // namespace tsim
+
+#endif // TSIM_SIM_INLINE_FUNCTION_HH

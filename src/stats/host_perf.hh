@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Host-side throughput accounting.
+ *
+ * Simulated statistics tell us what the modelled machine did; these
+ * counters tell us how fast the simulator itself ran — events
+ * executed, host wall-time, and simulated-time per host-second. Every
+ * System::run() fills one HostPerf, the bench harnesses aggregate
+ * them, and the kernel microbenchmark tracks the same numbers so the
+ * perf trajectory is visible across PRs.
+ */
+
+#ifndef TSIM_STATS_HOST_PERF_HH
+#define TSIM_STATS_HOST_PERF_HH
+
+#include <chrono>
+#include <cstdint>
+
+#include "sim/ticks.hh"
+
+namespace tsim
+{
+
+/** Throughput counters for one or more simulation runs. */
+struct HostPerf
+{
+    std::uint64_t events = 0;    ///< kernel events executed
+    Tick simTicks = 0;           ///< simulated time covered
+    double hostSeconds = 0;      ///< host wall-time spent
+    std::uint64_t runs = 0;      ///< simulations aggregated
+
+    void
+    merge(const HostPerf &o)
+    {
+        events += o.events;
+        simTicks += o.simTicks;
+        hostSeconds += o.hostSeconds;
+        runs += o.runs;
+    }
+
+    /** Kernel events per host second. */
+    double
+    eventsPerSec() const
+    {
+        return hostSeconds > 0 ? events / hostSeconds : 0.0;
+    }
+
+    /** Simulated nanoseconds per host second. */
+    double
+    simNsPerHostSec() const
+    {
+        return hostSeconds > 0 ? ticksToNs(simTicks) / hostSeconds : 0.0;
+    }
+};
+
+/** Wall-clock stopwatch for host-side accounting. */
+class HostTimer
+{
+  public:
+    HostTimer() : _start(std::chrono::steady_clock::now()) {}
+
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - _start)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point _start;
+};
+
+} // namespace tsim
+
+#endif // TSIM_STATS_HOST_PERF_HH

@@ -59,11 +59,14 @@ System::System(const SystemConfig &cfg, const WorkloadProfile &workload)
 SimReport
 System::run()
 {
+    const HostTimer timer;
+    std::uint64_t events = 0;
     _engine->warmup(_cfg.warmupOpsPerCore);
     _engine->start();
     while (!_engine->done()) {
         if (!_eq.step())
             panic("event queue drained before the workload finished");
+        ++events;
         if (_eq.curTick() > _cfg.maxRuntime) {
             _dcache->dumpDebug(stderr);
             _engine->dumpDebug(stderr);
@@ -126,6 +129,10 @@ System::run()
     r.predictorAccuracy = _dcache->predictorAccuracy();
     r.backpressureStalls = static_cast<std::uint64_t>(
         _engine->backpressureStalls.value());
+    r.hostPerf.events = events;
+    r.hostPerf.simTicks = r.runtimeTicks;
+    r.hostPerf.hostSeconds = timer.seconds();
+    r.hostPerf.runs = 1;
     return r;
 }
 

@@ -17,6 +17,7 @@
 #include "dram/main_memory.hh"
 #include "energy/energy.hh"
 #include "sim/event_queue.hh"
+#include "stats/host_perf.hh"
 #include "workload/core_engine.hh"
 #include "workload/profiles.hh"
 
@@ -81,6 +82,13 @@ struct SimReport
     std::uint64_t probes = 0;
     double predictorAccuracy = 0;
     std::uint64_t backpressureStalls = 0;
+
+    /**
+     * Host-side throughput of the run (events executed, wall time).
+     * Not deterministic across hosts or runs — excluded from any
+     * byte-identical output comparison.
+     */
+    HostPerf hostPerf{};
 
     double runtimeNs() const { return ticksToNs(runtimeTicks); }
 };
