@@ -145,13 +145,21 @@ class RunCache
         if (_perfReported || _perf.runs == 0)
             return;
         _perfReported = true;
+        const double scans_per_kick =
+            _perf.chanKicks
+                ? static_cast<double>(_perf.chanScans) /
+                      static_cast<double>(_perf.chanKicks)
+                : 0.0;
         std::fprintf(stderr,
                      "[host] %llu runs, %llu events, %.2fs host time, "
-                     "%.2fM events/s, %.1f sim-us per host-s\n",
+                     "%.2fM events/s, %.1f sim-us per host-s, "
+                     "%llu chan kicks (%.1f scan steps each)\n",
                      (unsigned long long)_perf.runs,
                      (unsigned long long)_perf.events,
                      _perf.hostSeconds, _perf.eventsPerSec() / 1e6,
-                     _perf.simNsPerHostSec() / 1e3);
+                     _perf.simNsPerHostSec() / 1e3,
+                     (unsigned long long)_perf.chanKicks,
+                     scans_per_kick);
     }
 
   private:

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Channel-scheduler microbenchmark: requests/sec and allocations per
+ * request for the production incremental DramChannel versus the
+ * frozen pre-rewrite scheduler (tests/legacy_channel.*), driven with
+ * the embedded seed workload mix across all device kinds —
+ * conventional (close and open page), NDC, and TDRAM with probing.
+ *
+ * Both schedulers replay the identical closed-loop request stream;
+ * the run FAILS (nonzero exit) unless their completion traces and
+ * full stats dumps produce the same checksum, so this binary doubles
+ * as the old-vs-new cross-check that ctest's perf-smoke label runs.
+ *
+ * Emits BENCH_channel.json (override with --out FILE).
+ *
+ * Usage: micro_channel [--requests N] [--seed N] [--out FILE]
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dram/channel.hh"
+#include "legacy_channel.hh"
+#include "sim/rng.hh"
+
+// ---------------------------------------------------------------------
+// Global allocation counter. Counts every operator new in the
+// process; the harness reads deltas around the measured region.
+// ---------------------------------------------------------------------
+
+namespace
+{
+std::atomic<std::uint64_t> g_allocCount{0};
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                     size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete(void *p, std::align_val_t) noexcept { std::free(p); }
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+namespace
+{
+
+using namespace tsim;
+
+constexpr std::uint64_t kCap = 1ULL << 24;
+
+std::uint64_t
+fnv(std::uint64_t h, std::uint64_t v)
+{
+    return (h ^ v) * 1099511628211ULL;
+}
+
+/** Deterministic per-line tag state, independent of lookup order. */
+TagResult
+tagsFor(Addr a, std::uint32_t seed)
+{
+    Rng r(seed ^ (static_cast<std::uint32_t>(a / lineBytes) *
+                  2654435761u));
+    TagResult t;
+    t.valid = r.chance(0.9);
+    t.hit = t.valid && r.chance(0.5);
+    t.dirty = t.valid && r.chance(0.4);
+    t.victimAddr = t.hit ? lineAlign(a) : (lineAlign(a) ^ (kCap / 2));
+    return t;
+}
+
+/** One device kind of the seed workload mix. */
+struct KindCfg
+{
+    const char *name;
+    bool inDramTags;
+    bool hmAtColumn;
+    bool probe;
+    PagePolicy page;
+};
+
+constexpr KindCfg kKinds[] = {
+    {"conventional_close", false, false, false, PagePolicy::Close},
+    {"conventional_open", false, false, false, PagePolicy::Open},
+    {"ndc", true, true, false, PagePolicy::Close},
+    {"tdram", true, false, true, PagePolicy::Close},
+};
+
+/**
+ * Drive one channel closed-loop through @p total requests of the
+ * seed mix; @return a checksum over every completion callback plus
+ * the final stats dump (identical schedulers => identical value).
+ */
+template <typename ChanT, typename ReqT>
+std::uint64_t
+drive(const KindCfg &k, std::uint64_t total, std::uint32_t seed)
+{
+    EventQueue eq;
+    AddressMap map(kCap, 1, 16, 1024);
+    ChannelConfig cfg;
+    cfg.refreshEnabled = true;
+    cfg.pagePolicy = k.page;
+    cfg.inDramTags = k.inDramTags;
+    cfg.conditionalColumn = k.inDramTags;
+    cfg.hmAtColumn = k.hmAtColumn;
+    cfg.enableProbe = k.probe;
+    cfg.hasFlushBuffer = k.inDramTags;
+    cfg.opportunisticDrain = !k.hmAtColumn;
+    ChanT chan(eq, "ch", cfg, map);
+
+    std::uint64_t checksum = 14695981039346656037ULL;
+    chan.peekTags = [seed](Addr a) { return tagsFor(a, seed); };
+    chan.onFlushArrive = [&](Addr a, Tick t) {
+        checksum = fnv(checksum, a ^ t);
+    };
+
+    Rng rng(seed);
+    std::uint64_t submitted = 0;
+    std::function<void()> pump = [&] {
+        while (submitted < total) {
+            const bool is_write = rng.chance(0.35);
+            if (is_write ? !chan.canAcceptWrite()
+                         : !chan.canAcceptRead()) {
+                break;
+            }
+            ReqT r;
+            r.id = submitted;
+            r.addr = rng.range(4096) * lineBytes;
+            if (k.inDramTags) {
+                r.op = is_write ? ChanOp::ActWr : ChanOp::ActRd;
+                r.onTagResult = [&, id = submitted](
+                                    Tick t, const TagResult &tr) {
+                    checksum = fnv(checksum,
+                                   t * 16 + tr.hit * 8 + tr.valid * 4 +
+                                       tr.dirty * 2 + tr.viaProbe);
+                    // Mirror the TDRAM front-end: probe-miss-clean
+                    // retires the queued read early.
+                    if (tr.viaProbe && !tr.hit &&
+                        !(tr.valid && tr.dirty)) {
+                        chan.removeRead(id);
+                    }
+                };
+            } else {
+                r.op = is_write ? ChanOp::Write : ChanOp::Read;
+            }
+            r.onDataDone = [&](Tick t) {
+                checksum = fnv(checksum, t);
+                pump();
+            };
+            ++submitted;
+            chan.enqueue(std::move(r));
+        }
+    };
+    pump();
+
+    // NDC's victim buffer only drains when full; don't wait on it.
+    const bool wait_flush = cfg.hasFlushBuffer && cfg.opportunisticDrain;
+    Tick limit = nsToTicks(2000);
+    while (submitted < total ||
+           chan.readQSize() + chan.writeQSize() > 0 ||
+           (wait_flush && chan.flushSize() > 0)) {
+        eq.run(limit);
+        pump();
+        limit += nsToTicks(2000);
+    }
+    eq.run(limit + nsToTicks(3000));  // trailing completions/drains
+
+    StatGroup g("ch");
+    chan.regStats(g);
+    std::ostringstream os;
+    g.dump(os);
+    for (char c : os.str())
+        checksum = fnv(checksum, static_cast<unsigned char>(c));
+    return checksum;
+}
+
+struct Measurement
+{
+    double reqPerSec = 0;
+    double allocsPerReq = 0;
+    std::uint64_t checksum = 0;
+};
+
+template <typename ChanT, typename ReqT>
+Measurement
+measure(const KindCfg &k, std::uint64_t requests, std::uint32_t seed)
+{
+    // Warm-up pass: populates event pools so the measured region
+    // reflects steady state.
+    drive<ChanT, ReqT>(k, requests / 8 + 1, seed);
+
+    const std::uint64_t allocs0 =
+        g_allocCount.load(std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t checksum = drive<ChanT, ReqT>(k, requests, seed);
+    const auto t1 = std::chrono::steady_clock::now();
+    const std::uint64_t allocs1 =
+        g_allocCount.load(std::memory_order_relaxed);
+
+    Measurement m;
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    m.reqPerSec = static_cast<double>(requests) / secs;
+    m.allocsPerReq = static_cast<double>(allocs1 - allocs0) /
+                     static_cast<double>(requests);
+    m.checksum = checksum;
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t requests = 200000;
+    std::uint32_t seed = 7;
+    std::string out = "BENCH_channel.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+            requests = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            seed = static_cast<std::uint32_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out = argv[++i];
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: %s [--requests N] [--seed N] [--out FILE]\n",
+                argv[0]);
+            return 1;
+        }
+    }
+    if (requests == 0) {
+        std::fprintf(stderr, "--requests must be > 0\n");
+        return 1;
+    }
+
+    std::string kinds_json;
+    double speedup_product = 1.0;
+    unsigned nkinds = 0;
+    bool mismatch = false;
+
+    for (const auto &k : kKinds) {
+        const std::uint64_t fallbacks0 =
+            tsim::InlineFunction::heapFallbacks();
+        const Measurement fast =
+            measure<tsim::DramChannel, tsim::ChanReq>(k, requests,
+                                                      seed);
+        const std::uint64_t fast_fallbacks =
+            tsim::InlineFunction::heapFallbacks() - fallbacks0;
+        const Measurement legacy =
+            measure<tsim::LegacyDramChannel, tsim::LegacyChanReq>(
+                k, requests, seed);
+
+        if (fast.checksum != legacy.checksum) {
+            std::fprintf(
+                stderr,
+                "FAIL: %s schedulers diverged (checksum %llx vs %llx)\n",
+                k.name, (unsigned long long)fast.checksum,
+                (unsigned long long)legacy.checksum);
+            mismatch = true;
+        }
+
+        const double speedup = fast.reqPerSec / legacy.reqPerSec;
+        speedup_product *= speedup;
+        ++nkinds;
+        std::printf("%-20s fast %9.0f req/s  %.4f allocs/req  "
+                    "| legacy %9.0f req/s  %.4f allocs/req  "
+                    "| %.2fx  (%llu SBO fallbacks)\n",
+                    k.name, fast.reqPerSec, fast.allocsPerReq,
+                    legacy.reqPerSec, legacy.allocsPerReq, speedup,
+                    (unsigned long long)fast_fallbacks);
+
+        char buf[512];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s    {\n"
+            "      \"kind\": \"%s\",\n"
+            "      \"fast\": {\"req_per_sec\": %.0f, "
+            "\"allocs_per_req\": %.6f, \"sbo_heap_fallbacks\": %llu},\n"
+            "      \"legacy\": {\"req_per_sec\": %.0f, "
+            "\"allocs_per_req\": %.6f},\n"
+            "      \"speedup\": %.3f,\n"
+            "      \"checksum_match\": %s\n"
+            "    }",
+            kinds_json.empty() ? "" : ",\n", k.name, fast.reqPerSec,
+            fast.allocsPerReq, (unsigned long long)fast_fallbacks,
+            legacy.reqPerSec, legacy.allocsPerReq, speedup,
+            fast.checksum == legacy.checksum ? "true" : "false");
+        kinds_json += buf;
+    }
+
+    const double geomean =
+        std::exp(std::log(speedup_product) / nkinds);
+    std::printf("geomean speedup %.2fx\n", geomean);
+
+    if (std::FILE *f = std::fopen(out.c_str(), "w")) {
+        std::fprintf(f,
+                     "{\n"
+                     "  \"bench\": \"micro_channel\",\n"
+                     "  \"requests\": %llu,\n"
+                     "  \"seed\": %u,\n"
+                     "  \"kinds\": [\n%s\n  ],\n"
+                     "  \"geomean_speedup\": %.3f\n"
+                     "}\n",
+                     (unsigned long long)requests, seed,
+                     kinds_json.c_str(), geomean);
+        std::fclose(f);
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", out.c_str());
+        return 1;
+    }
+    return mismatch ? 1 : 0;
+}

@@ -1,3 +1,11 @@
+/**
+ * @file
+ * DRAM channel implementation: the incremental, allocation-free
+ * FR-FCFS back-end. See channel.hh for the model and DESIGN.md §9 for
+ * why the incremental scheduler is tick- and order-identical to the
+ * reference full-scan one (kept under tests/legacy_channel.*).
+ */
+
 #include "dram/channel.hh"
 
 #include <algorithm>
@@ -30,26 +38,307 @@ DramChannel::DramChannel(EventQueue &eq, std::string name,
       _flush(cfg.flushEntries)
 {
     fatal_if(_cfg.banks == 0, "channel needs at least one bank");
+
+    // Fixed-size request slab: enqueue panics on overflow, so the
+    // pool never grows and the steady state never allocates.
+    const std::uint32_t cap = _cfg.readQCap + _cfg.writeQCap;
+    _pool.resize(cap);
+    for (std::uint32_t i = 0; i < cap; ++i)
+        _pool[i].next = (i + 1 < cap) ? i + 1 : NIL;
+    _freeHead = cap ? 0 : NIL;
+
+    // Read-id index: power-of-two table at <= 1/2 load factor.
+    std::size_t want = 2 * std::max<std::size_t>(_cfg.readQCap, 4);
+    std::size_t size = 1;
+    while (size < want)
+        size <<= 1;
+    _readIndex.resize(size);
+    _indexMask = static_cast<std::uint32_t>(size - 1);
+
+    _orphans.resize(std::max(1u, _cfg.readQCap));
+
     if (_cfg.refreshEnabled) {
         _eq.schedule(_t.tREFI, [this] { startRefresh(); });
     }
 }
+
+// ---------------------------------------------------------------------
+// Request pool and intrusive lists.
+// ---------------------------------------------------------------------
+
+std::uint32_t
+DramChannel::allocNode()
+{
+    panic_if(_freeHead == NIL, "%s: request pool exhausted",
+             name().c_str());
+    const std::uint32_t idx = _freeHead;
+    _freeHead = _pool[idx].next;
+    _pool[idx].next = NIL;
+    return idx;
+}
+
+void
+DramChannel::freeNode(std::uint32_t idx)
+{
+    ReqNode &n = _pool[idx];
+    n.req = ChanReq{};  // drop any callback still held
+    n.probePending = false;
+    n.prev = n.bankPrev = n.bankNext = NIL;
+    n.next = _freeHead;
+    _freeHead = idx;
+}
+
+void
+DramChannel::qLink(unsigned dir, std::uint32_t idx)
+{
+    ReqNode &n = _pool[idx];
+    n.prev = _q[dir].tail;
+    n.next = NIL;
+    if (_q[dir].tail == NIL)
+        _q[dir].head = idx;
+    else
+        _pool[_q[dir].tail].next = idx;
+    _q[dir].tail = idx;
+}
+
+void
+DramChannel::qUnlink(unsigned dir, std::uint32_t idx)
+{
+    ReqNode &n = _pool[idx];
+    if (n.prev != NIL)
+        _pool[n.prev].next = n.next;
+    else
+        _q[dir].head = n.next;
+    if (n.next != NIL)
+        _pool[n.next].prev = n.prev;
+    else
+        _q[dir].tail = n.prev;
+    n.prev = n.next = NIL;
+}
+
+void
+DramChannel::bankLink(BankState &b, unsigned dir, std::uint32_t idx)
+{
+    ReqNode &n = _pool[idx];
+    n.bankPrev = b.q[dir].tail;
+    n.bankNext = NIL;
+    if (b.q[dir].tail == NIL)
+        b.q[dir].head = idx;
+    else
+        _pool[b.q[dir].tail].bankNext = idx;
+    b.q[dir].tail = idx;
+    ++b.opCount[dir][opKindIdx(n.req.op)];
+    if (_cfg.pagePolicy == PagePolicy::Open && b.rowOpen &&
+        b.openRow == n.req.coord.row) {
+        ++b.hitCount[dir][opKindIdx(n.req.op)];
+    }
+}
+
+void
+DramChannel::bankUnlink(BankState &b, unsigned dir, std::uint32_t idx)
+{
+    ReqNode &n = _pool[idx];
+    if (n.bankPrev != NIL)
+        _pool[n.bankPrev].bankNext = n.bankNext;
+    else
+        b.q[dir].head = n.bankNext;
+    if (n.bankNext != NIL)
+        _pool[n.bankNext].bankPrev = n.bankPrev;
+    else
+        b.q[dir].tail = n.bankPrev;
+    n.bankPrev = n.bankNext = NIL;
+    --b.opCount[dir][opKindIdx(n.req.op)];
+    if (_cfg.pagePolicy == PagePolicy::Open && b.rowOpen &&
+        b.openRow == n.req.coord.row) {
+        --b.hitCount[dir][opKindIdx(n.req.op)];
+    }
+}
+
+void
+DramChannel::rebuildHitCounts(BankState &b)
+{
+    b.hitCount[0][0] = b.hitCount[0][1] = 0;
+    b.hitCount[1][0] = b.hitCount[1][1] = 0;
+    if (!b.rowOpen)
+        return;
+    for (unsigned dir = 0; dir < 2; ++dir) {
+        for (std::uint32_t i = b.q[dir].head; i != NIL;
+             i = _pool[i].bankNext) {
+            const ReqNode &n = _pool[i];
+            if (n.req.coord.row == b.openRow)
+                ++b.hitCount[dir][opKindIdx(n.req.op)];
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Read id -> node index (open addressing, linear probing).
+// ---------------------------------------------------------------------
+
+std::uint64_t
+DramChannel::hashId(std::uint64_t id)
+{
+    id *= 0x9e3779b97f4a7c15ull;
+    return id ^ (id >> 32);
+}
+
+void
+DramChannel::indexInsert(std::uint64_t id, std::uint32_t node)
+{
+    std::uint32_t s =
+        static_cast<std::uint32_t>(hashId(id)) & _indexMask;
+    while (_readIndex[s].node != NIL)
+        s = (s + 1) & _indexMask;
+    _readIndex[s].id = id;
+    _readIndex[s].node = node;
+}
+
+std::uint32_t
+DramChannel::indexFind(std::uint64_t id) const
+{
+    std::uint32_t s =
+        static_cast<std::uint32_t>(hashId(id)) & _indexMask;
+    while (_readIndex[s].node != NIL) {
+        if (_readIndex[s].id == id)
+            return _readIndex[s].node;
+        s = (s + 1) & _indexMask;
+    }
+    return NIL;
+}
+
+void
+DramChannel::indexErase(std::uint64_t id)
+{
+    std::uint32_t s =
+        static_cast<std::uint32_t>(hashId(id)) & _indexMask;
+    for (;;) {
+        if (_readIndex[s].node == NIL)
+            return;
+        if (_readIndex[s].id == id)
+            break;
+        s = (s + 1) & _indexMask;
+    }
+    // Backward-shift deletion keeps probe chains contiguous without
+    // tombstones.
+    std::uint32_t hole = s;
+    std::uint32_t j = s;
+    for (;;) {
+        j = (j + 1) & _indexMask;
+        if (_readIndex[j].node == NIL)
+            break;
+        const std::uint32_t home =
+            static_cast<std::uint32_t>(hashId(_readIndex[j].id)) &
+            _indexMask;
+        if (((j - home) & _indexMask) >= ((j - hole) & _indexMask)) {
+            _readIndex[hole] = _readIndex[j];
+            hole = j;
+        }
+    }
+    _readIndex[hole].node = NIL;
+}
+
+// ---------------------------------------------------------------------
+// Orphaned tag callbacks: a probed request can leave the queue (issue
+// or probe-miss-clean retire) while its probe HM event — and, after
+// issue, the MAIN HM event — are still in flight. The callback parks
+// here and each delivery routes to it by id, preserving the old
+// copied-std::function semantics with a move-only callback.
+// ---------------------------------------------------------------------
+
+void
+DramChannel::orphanAdd(std::uint64_t id, ChanTagCb cb,
+                       std::uint8_t refs)
+{
+    for (auto &o : _orphans) {
+        if (!o.active) {
+            o.id = id;
+            o.cb = std::move(cb);
+            o.refs = refs;
+            o.active = true;
+            return;
+        }
+    }
+    OrphanCb o;
+    o.id = id;
+    o.cb = std::move(cb);
+    o.refs = refs;
+    o.active = true;
+    _orphans.push_back(std::move(o));
+}
+
+void
+DramChannel::orphanDeliver(std::uint64_t id, Tick t,
+                           const TagResult &tr)
+{
+    // Index-based: the callback may add new orphans (vector growth)
+    // while it runs; slot i itself is stable until refs hits zero.
+    for (std::size_t i = 0; i < _orphans.size(); ++i) {
+        if (!_orphans[i].active || _orphans[i].id != id)
+            continue;
+        if (_orphans[i].cb) {
+            ChanTagCb cb = std::move(_orphans[i].cb);
+            cb(t, tr);
+            _orphans[i].cb = std::move(cb);
+        }
+        if (--_orphans[i].refs == 0) {
+            _orphans[i].cb.reset();
+            _orphans[i].active = false;
+        }
+        return;
+    }
+}
+
+void
+DramChannel::deliverProbe(std::uint64_t id, Tick t, const TagResult &tr)
+{
+    const std::uint32_t idx = indexFind(id);
+    if (idx == NIL) {
+        orphanDeliver(id, t, tr);
+        return;
+    }
+    ReqNode &n = _pool[idx];
+    n.probePending = false;
+    if (!n.req.onTagResult)
+        return;
+    // Move the callback out for the call: the consumer may retire the
+    // request (removeRead) from inside it, freeing the node.
+    ChanTagCb cb = std::move(n.req.onTagResult);
+    cb(t, tr);
+    const std::uint32_t again = indexFind(id);
+    if (again != NIL)
+        _pool[again].req.onTagResult = std::move(cb);
+}
+
+// ---------------------------------------------------------------------
+// Queue admission.
+// ---------------------------------------------------------------------
 
 void
 DramChannel::enqueue(ChanReq req)
 {
     req.enqueued = curTick();
     req.coord = _map.decode(req.addr);
-    const bool is_write =
-        req.op == ChanOp::Write || req.op == ChanOp::ActWr;
-    if (is_write) {
-        panic_if(_writeQ.size() >= _cfg.writeQCap,
+    const unsigned dir = dirOf(req.op);
+    if (dir == DirWrite) {
+        panic_if(_qCount[DirWrite] >= _cfg.writeQCap,
                  "%s: write queue overflow", name().c_str());
-        _writeQ.push_back(std::move(req));
     } else {
-        panic_if(_readQ.size() >= _cfg.readQCap,
+        panic_if(_qCount[DirRead] >= _cfg.readQCap,
                  "%s: read queue overflow", name().c_str());
-        _readQ.push_back(std::move(req));
+    }
+    const std::uint32_t idx = allocNode();
+    ReqNode &n = _pool[idx];
+    n.req = std::move(req);
+    n.seq = _nextArrival++;
+    n.probePending = false;
+    qLink(dir, idx);
+    BankState &b = _banks[n.req.coord.bank];
+    bankLink(b, dir, idx);
+    ++_qCount[dir];
+    if (dir == DirRead) {
+        indexInsert(n.req.id, idx);
+        if (!n.req.probed && n.req.onTagResult)
+            ++b.probeEligible;
     }
     kick();
 }
@@ -57,15 +346,30 @@ DramChannel::enqueue(ChanReq req)
 bool
 DramChannel::removeRead(std::uint64_t id)
 {
-    for (auto it = _readQ.begin(); it != _readQ.end(); ++it) {
-        if (it->id == id) {
-            readQueueDelay.sample(ticksToNs(curTick() - it->enqueued));
-            _readQ.erase(it);
-            return true;
-        }
+    const std::uint32_t idx = indexFind(id);
+    if (idx == NIL)
+        return false;
+    ReqNode &n = _pool[idx];
+    readQueueDelay.sample(ticksToNs(curTick() - n.req.enqueued));
+    BankState &b = _banks[n.req.coord.bank];
+    if (!n.req.probed && n.req.onTagResult)
+        --b.probeEligible;
+    if (n.probePending) {
+        // The probe HM event is still in flight and must deliver its
+        // result exactly as the old copied-callback semantics did.
+        orphanAdd(n.req.id, std::move(n.req.onTagResult), 1);
     }
-    return false;
+    qUnlink(DirRead, idx);
+    bankUnlink(b, DirRead, idx);
+    --_qCount[DirRead];
+    indexErase(id);
+    freeNode(idx);
+    return true;
 }
+
+// ---------------------------------------------------------------------
+// Timing primitives (identical to the reference scheduler).
+// ---------------------------------------------------------------------
 
 Tick
 DramChannel::dqEarliest(bool is_write) const
@@ -171,8 +475,188 @@ DramChannel::earliestIssue(const ChanReq &req) const
     return e;
 }
 
+// ---------------------------------------------------------------------
+// Incremental FR-FCFS selection.
+//
+// Every constraint in earliestIssue() is a function of global state
+// plus the request's (bank, op kind, row-hit) class, so requests of
+// one class in one bank share a single earliestIssue value, and FIFO
+// order within a bank list is global arrival order restricted to that
+// bank. Selection therefore evaluates no more than the first request
+// of each class per bank — exactly equivalent to the reference
+// oldest-first full scan, at a fraction of the work.
+// ---------------------------------------------------------------------
+
+std::uint32_t
+DramChannel::firstReadyInBank(const BankState &b, unsigned dir,
+                              Tick now, bool row_hits_only,
+                              std::uint64_t seq_bound) const
+{
+    const bool open = _cfg.pagePolicy == PagePolicy::Open;
+    // Exact count of distinct equivalence classes in this queue, from
+    // the per-kind totals and row-hit counts. Once that many classes
+    // are evaluated, every later node repeats one and would be skipped.
+    unsigned cls_limit;
+    if (open) {
+        const unsigned h0 = b.hitCount[dir][0];
+        const unsigned h1 = b.hitCount[dir][1];
+        const unsigned hit_kinds = (h0 ? 1u : 0u) + (h1 ? 1u : 0u);
+        if (row_hits_only) {
+            cls_limit = hit_kinds;
+        } else {
+            cls_limit = hit_kinds +
+                        (b.opCount[dir][0] > h0 ? 1u : 0u) +
+                        (b.opCount[dir][1] > h1 ? 1u : 0u);
+        }
+        if (cls_limit == 0)
+            return NIL;  // e.g. no row hits queued in the hit pass
+    } else {
+        cls_limit = (b.opCount[dir][0] ? 1u : 0u) +
+                    (b.opCount[dir][1] ? 1u : 0u);
+    }
+    unsigned cls_eval = 0;
+    bool evaluated[4] = {false, false, false, false};
+    for (std::uint32_t i = b.q[dir].head; i != NIL;
+         i = _pool[i].bankNext) {
+        ++hostScanSteps;
+        const ReqNode &n = _pool[i];
+        if (n.seq >= seq_bound)
+            return NIL;  // an older candidate from another bank wins
+        const ChanReq &r = n.req;
+        const bool hit = open && rowHit(r);
+        if (row_hits_only && !hit)
+            continue;
+        const unsigned cls = opKindIdx(r.op) * 2 + (hit ? 1u : 0u);
+        if (evaluated[cls])
+            continue;  // same constraints as an older request: not ready
+        if (earliestIssue(r) <= now)
+            return i;
+        evaluated[cls] = true;
+        if (++cls_eval == cls_limit)
+            return NIL;  // every class that can appear was checked
+    }
+    return NIL;
+}
+
+std::uint32_t
+DramChannel::selectReady(unsigned dir, Tick now) const
+{
+    if (_qCount[dir] == 0)
+        return NIL;
+    // The CA bus / refresh window gates every op kind identically.
+    if (std::max(_caFreeAt, _refreshUntil) > now)
+        return NIL;
+    const bool open = _cfg.pagePolicy == PagePolicy::Open;
+    std::uint32_t best = NIL;
+    std::uint64_t best_seq = ~std::uint64_t{0};
+    if (open) {
+        // FR-FCFS pass 1: the oldest issuable row hit. Banks with no
+        // queued row hit are skipped without touching their queues.
+        for (const auto &b : _banks) {
+            if ((b.hitCount[dir][0] | b.hitCount[dir][1]) == 0 ||
+                b.nextAct > now) {
+                continue;
+            }
+            const std::uint32_t c =
+                firstReadyInBank(b, dir, now, true, best_seq);
+            if (c != NIL) {
+                best = c;
+                best_seq = _pool[c].seq;
+            }
+        }
+        if (best != NIL)
+            return best;
+    }
+    // Pass 2: the oldest issuable request of any kind. Everything
+    // still issuable here needs an ACT (close page always; open page
+    // because pass 1 returned no ready row hit), so the tRRD/tFAW
+    // activation gates apply to every remaining candidate.
+    Tick act_gate = 0;
+    if (!_actWindow.empty())
+        act_gate = _actWindow.back() + _t.tRRD;
+    act_gate = std::max(act_gate, fawConstraint());
+    if (act_gate > now)
+        return NIL;
+    for (const auto &b : _banks) {
+        if (b.q[dir].head == NIL || b.nextAct > now)
+            continue;
+        const std::uint32_t c =
+            firstReadyInBank(b, dir, now, false, best_seq);
+        if (c != NIL) {
+            best = c;
+            best_seq = _pool[c].seq;
+        }
+    }
+    return best;
+}
+
+Tick
+DramChannel::earliestWake(unsigned dir) const
+{
+    Tick best = maxTick;
+    if (_qCount[dir] == 0)
+        return best;
+    const bool open = _cfg.pagePolicy == PagePolicy::Open;
+    for (const auto &b : _banks) {
+        std::uint32_t i = b.q[dir].head;
+        if (i == NIL)
+            continue;
+        // Same exact class count as firstReadyInBank.
+        unsigned cls_limit;
+        if (open) {
+            const unsigned h0 = b.hitCount[dir][0];
+            const unsigned h1 = b.hitCount[dir][1];
+            cls_limit = (h0 ? 1u : 0u) + (h1 ? 1u : 0u) +
+                        (b.opCount[dir][0] > h0 ? 1u : 0u) +
+                        (b.opCount[dir][1] > h1 ? 1u : 0u);
+        } else {
+            cls_limit = (b.opCount[dir][0] ? 1u : 0u) +
+                        (b.opCount[dir][1] ? 1u : 0u);
+        }
+        unsigned cls_eval = 0;
+        bool evaluated[4] = {false, false, false, false};
+        for (; i != NIL; i = _pool[i].bankNext) {
+            ++hostScanSteps;
+            const ChanReq &r = _pool[i].req;
+            const unsigned cls =
+                opKindIdx(r.op) * 2 + ((open && rowHit(r)) ? 1u : 0u);
+            if (evaluated[cls])
+                continue;
+            evaluated[cls] = true;
+            best = std::min(best, earliestIssue(r));
+            if (++cls_eval == cls_limit)
+                break;
+        }
+    }
+    return best;
+}
+
+// ---------------------------------------------------------------------
+// Issue paths (timing identical to the reference scheduler).
+// ---------------------------------------------------------------------
+
 void
-DramChannel::issue(ChanReq req)
+DramChannel::dequeueAndIssue(std::uint32_t idx)
+{
+    ReqNode &n = _pool[idx];
+    const unsigned dir = dirOf(n.req.op);
+    BankState &b = _banks[n.req.coord.bank];
+    if (dir == DirRead) {
+        indexErase(n.req.id);
+        if (!n.req.probed && n.req.onTagResult)
+            --b.probeEligible;
+    }
+    qUnlink(dir, idx);
+    bankUnlink(b, dir, idx);
+    --_qCount[dir];
+    const bool probe_pending = n.probePending;
+    ChanReq r = std::move(n.req);
+    freeNode(idx);
+    issue(std::move(r), probe_pending);
+}
+
+void
+DramChannel::issue(ChanReq &&req, bool probe_pending)
 {
     switch (req.op) {
       case ChanOp::Read:
@@ -182,7 +666,7 @@ DramChannel::issue(ChanReq req)
         issueConventional(req, true);
         break;
       case ChanOp::ActRd:
-        issueActRd(req);
+        issueActRd(req, probe_pending);
         break;
       case ChanOp::ActWr:
         issueActWr(req);
@@ -217,6 +701,7 @@ DramChannel::issueConventional(ChanReq &req, bool is_write)
             ++dataBankActs;
             b.rowOpen = true;
             b.openRow = req.coord.row;
+            rebuildHitCounts(b);
             b.nextPre = act_at + _t.tRAS;
             col_at = act_at + (is_write ? _t.tRCD_WR : _t.tRCD);
         }
@@ -253,13 +738,13 @@ DramChannel::issueConventional(ChanReq &req, bool is_write)
 
     const Tick done = data_start + _t.dataBurst();
     if (req.onDataDone) {
-        _eq.schedule(done,
-                     [cb = req.onDataDone, done] { cb(done); });
+        _eq.schedule(done, [cb = std::move(req.onDataDone),
+                            done]() mutable { cb(done); });
     }
 }
 
 void
-DramChannel::issueActRd(ChanReq &req)
+DramChannel::issueActRd(ChanReq &req, bool probe_pending)
 {
     panic_if(!peekTags, "%s: ActRd without a tag backend",
              name().c_str());
@@ -302,9 +787,8 @@ DramChannel::issueActRd(ChanReq &req)
         dqBusyTicks += static_cast<double>(_t.dataBurst());
         if (req.onDataDone) {
             _eq.schedule(data_done,
-                         [cb = req.onDataDone, data_done] {
-                             cb(data_done);
-                         });
+                         [cb = std::move(req.onDataDone),
+                          data_done]() mutable { cb(data_done); });
         }
     } else {
         // Read-miss-clean: the reserved DQ slot goes unused; TDRAM
@@ -327,9 +811,20 @@ DramChannel::issueActRd(ChanReq &req)
     }
 
     if (req.onTagResult) {
-        _eq.schedule(hm_tick, [cb = req.onTagResult, tr, hm_tick] {
-            cb(hm_tick, tr);
-        });
+        if (probe_pending) {
+            // The probe HM result for this request is still in
+            // flight; park the callback where both deliveries (the
+            // probe's and this MAIN result's) can reach it.
+            const std::uint64_t id = req.id;
+            orphanAdd(id, std::move(req.onTagResult), 2);
+            _eq.schedule(hm_tick, [this, id, tr, hm_tick] {
+                orphanDeliver(id, hm_tick, tr);
+            });
+        } else {
+            _eq.schedule(hm_tick,
+                         [cb = std::move(req.onTagResult), tr,
+                          hm_tick]() mutable { cb(hm_tick, tr); });
+        }
     }
     readQueueDelay.sample(ticksToNs(now - req.enqueued));
     ++issuedActRd;
@@ -386,14 +881,14 @@ DramChannel::issueActWr(ChanReq &req)
     }
 
     if (req.onTagResult) {
-        _eq.schedule(hm_tick, [cb = req.onTagResult, tr, hm_tick] {
-            cb(hm_tick, tr);
-        });
+        _eq.schedule(hm_tick,
+                     [cb = std::move(req.onTagResult), tr,
+                      hm_tick]() mutable { cb(hm_tick, tr); });
     }
     if (req.onDataDone) {
-        _eq.schedule(data_done, [cb = req.onDataDone, data_done] {
-            cb(data_done);
-        });
+        _eq.schedule(data_done,
+                     [cb = std::move(req.onDataDone),
+                      data_done]() mutable { cb(data_done); });
     }
     ++issuedActWr;
 }
@@ -443,10 +938,14 @@ DramChannel::forceDrain()
     _flushDrainUntil = start;
 }
 
+// ---------------------------------------------------------------------
+// Early tag probing.
+// ---------------------------------------------------------------------
+
 bool
 DramChannel::tryProbe()
 {
-    if (!_cfg.enableProbe || _readQ.empty())
+    if (!_cfg.enableProbe || _qCount[DirRead] == 0)
         return false;
     const Tick now = curTick();
     if (_caFreeAt > now || _refreshUntil > now)
@@ -457,25 +956,31 @@ DramChannel::tryProbe()
 
     // Among probe-eligible requests pick the *youngest* (paper
     // §III-E2) to minimize average queueing delay.
-    for (auto it = _readQ.rbegin(); it != _readQ.rend(); ++it) {
-        if (it->probed || !it->onTagResult)
+    for (std::uint32_t i = _q[DirRead].tail; i != NIL;
+         i = _pool[i].prev) {
+        ++hostScanSteps;
+        ReqNode &n = _pool[i];
+        if (n.req.probed || !n.req.onTagResult)
             continue;
-        BankState &b = _banks[it->coord.bank];
+        BankState &b = _banks[n.req.coord.bank];
         if (b.tagNextAct > now) {
             ++probeBankConflicts;
             continue;
         }
-        it->probed = true;
+        n.req.probed = true;
+        n.probePending = true;
+        --b.probeEligible;
         _caFreeAt = now + _t.clkPeriod;
         b.tagNextAct = now + _t.tRC_TAG;
         ++tagBankActs;
         ++probesIssued;
-        TagResult tr = peekTags(it->addr);
+        TagResult tr = peekTags(n.req.addr);
         tr.viaProbe = true;
         const Tick hm_tick = now + hm_lat;
         _hmFreeAt = hm_tick + hmOccupancy;
-        _eq.schedule(hm_tick, [cb = it->onTagResult, tr, hm_tick] {
-            cb(hm_tick, tr);
+        const std::uint64_t id = n.req.id;
+        _eq.schedule(hm_tick, [this, id, tr, hm_tick] {
+            deliverProbe(id, hm_tick, tr);
         });
         return true;
     }
@@ -487,17 +992,25 @@ DramChannel::earliestProbe() const
 {
     if (!_cfg.enableProbe)
         return maxTick;
-    Tick best = maxTick;
-    for (const auto &req : _readQ) {
-        if (req.probed || !req.onTagResult)
-            continue;
-        Tick e = std::max(_caFreeAt, _refreshUntil);
-        e = std::max(e, _banks[req.coord.bank].tagNextAct);
-        e = std::max(e, subClamp(_hmFreeAt, _t.hmLatency()));
-        best = std::min(best, e);
+    // The reference computes min over eligible requests of
+    // max(G, bank.tagNextAct); G collects only request-independent
+    // global constraints, so this equals max(G, min over banks with
+    // eligible requests of tagNextAct) — O(banks), not O(queue).
+    Tick tag = maxTick;
+    for (const auto &b : _banks) {
+        if (b.probeEligible > 0)
+            tag = std::min(tag, b.tagNextAct);
     }
-    return best;
+    if (tag == maxTick)
+        return maxTick;
+    Tick e = std::max(_caFreeAt, _refreshUntil);
+    e = std::max(e, subClamp(_hmFreeAt, _t.hmLatency()));
+    return std::max(e, tag);
 }
+
+// ---------------------------------------------------------------------
+// Refresh and the scheduler loop.
+// ---------------------------------------------------------------------
 
 void
 DramChannel::startRefresh()
@@ -509,8 +1022,11 @@ DramChannel::startRefresh()
         b.nextAct = std::max(b.nextAct, _refreshUntil);
         // Tag mats refresh in parallel with data mats (§III-C2).
         b.tagNextAct = std::max(b.tagNextAct, _refreshUntil);
-        // Refresh closes every open row.
+        // Refresh closes every open row: every queued request is a
+        // row miss until the next ACT.
         b.rowOpen = false;
+        b.hitCount[0][0] = b.hitCount[0][1] = 0;
+        b.hitCount[1][0] = b.hitCount[1][1] = 0;
     }
 
     // TDRAM unloads the flush buffer while the DQ bus idles during
@@ -561,14 +1077,15 @@ DramChannel::scheduleKick(Tick when)
 void
 DramChannel::kick()
 {
+    ++hostKicks;
     const Tick now = curTick();
 
     // Write-drain hysteresis.
     auto update_mode = [this] {
         if (_drainingWrites) {
-            if (_writeQ.size() <= _cfg.writeLow)
+            if (_qCount[DirWrite] <= _cfg.writeLow)
                 _drainingWrites = false;
-        } else if (_writeQ.size() >= _cfg.writeHigh) {
+        } else if (_qCount[DirWrite] >= _cfg.writeHigh) {
             _drainingWrites = true;
         }
     };
@@ -577,43 +1094,19 @@ DramChannel::kick()
     // Issue the oldest ready request from the preferred queue; when
     // no read can issue right now, an issuable write may go instead
     // (and vice versa in drain mode: writes strictly first).
-    auto issue_at = [&](std::deque<ChanReq> &q,
-                        std::deque<ChanReq>::iterator it) {
-        ChanReq r = std::move(*it);
-        q.erase(it);
-        issue(std::move(r));
-        update_mode();
-    };
-    auto try_issue_from = [&](std::deque<ChanReq> &q) {
-        // FR-FCFS: under the open-page policy, the oldest issuable
-        // *row hit* goes first; otherwise (and for close-page)
-        // oldest issuable wins.
-        if (_cfg.pagePolicy == PagePolicy::Open) {
-            for (auto it = q.begin(); it != q.end(); ++it) {
-                if (rowHit(*it) && earliestIssue(*it) <= now) {
-                    issue_at(q, it);
-                    return true;
-                }
-            }
-        }
-        for (auto it = q.begin(); it != q.end(); ++it) {
-            if (earliestIssue(*it) <= now) {
-                issue_at(q, it);
-                return true;
-            }
-        }
-        return false;
-    };
-
-    bool progress = true;
-    while (progress) {
-        progress = false;
+    for (;;) {
+        std::uint32_t pick;
         if (_drainingWrites) {
-            progress = try_issue_from(_writeQ);
+            pick = selectReady(DirWrite, now);
         } else {
-            progress = try_issue_from(_readQ) ||
-                       try_issue_from(_writeQ);
+            pick = selectReady(DirRead, now);
+            if (pick == NIL)
+                pick = selectReady(DirWrite, now);
         }
+        if (pick == NIL)
+            break;
+        dequeueAndIssue(pick);
+        update_mode();
     }
 
     // Early tag probing uses otherwise-idle CA / tag-bank / HM slots.
@@ -621,13 +1114,12 @@ DramChannel::kick()
     }
 
     // Compute the next wake-up from the queues the policy will
-    // actually serve at that time.
-    Tick wake = maxTick;
-    for (const auto &r : _writeQ)
-        wake = std::min(wake, earliestIssue(r));
+    // actually serve at that time. The per-bank class minima are
+    // exact, so the next kick lands on the same tick the reference
+    // scheduler's full rescans would pick.
+    Tick wake = earliestWake(DirWrite);
     if (!_drainingWrites) {
-        for (const auto &r : _readQ)
-            wake = std::min(wake, earliestIssue(r));
+        wake = std::min(wake, earliestWake(DirRead));
         wake = std::min(wake, earliestProbe());
     }
     if (wake != maxTick)

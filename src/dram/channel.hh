@@ -23,6 +23,18 @@
  * (Table III), read priority with write-drain hysteresis, tRRD/tXAW
  * activation windows, DQ-bus direction turnarounds, and periodic
  * all-bank refresh.
+ *
+ * Scheduling core (see DESIGN.md §9): requests live in a fixed-size
+ * slab pool allocated at construction and are threaded onto intrusive
+ * per-direction FIFO lists — one global list (arrival order, used by
+ * the probe picker) and one per bank (used by FR-FCFS selection).
+ * Because every timing constraint of a request is a function of only
+ * its (bank, op kind, row-hit class), selection and next-wake
+ * computation evaluate at most a handful of class representatives per
+ * bank instead of rescanning every queued request, while remaining
+ * tick- and order-identical to an oldest-first full scan. Completion
+ * callbacks are small-buffer-optimized InlineCallables, so the whole
+ * enqueue → issue → complete path performs no heap allocation.
  */
 
 #ifndef TSIM_DRAM_CHANNEL_HH
@@ -31,12 +43,14 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <type_traits>
 #include <vector>
 
 #include "dram/timing.hh"
 #include "mem/address_map.hh"
 #include "mem/types.hh"
 #include "sim/event_queue.hh"
+#include "sim/inline_function.hh"
 #include "stats/stats.hh"
 #include "tdram/flush_buffer.hh"
 #include "tdram/tag_array.hh"
@@ -53,7 +67,16 @@ enum class ChanOp : std::uint8_t
     ActWr,   ///< TDRAM/NDC lockstep tag+data write
 };
 
-/** One request as seen by a channel. */
+/**
+ * Per-request completion callbacks. Sized so the front-ends' real
+ * captures (a component pointer plus a shared transaction pointer,
+ * or a std::function handed through MainMemory::read) stay on the
+ * inline path; the counted heap fallback still handles bigger ones.
+ */
+using ChanTagCb = InlineCallable<void(Tick, const TagResult &), 64>;
+using ChanDataCb = InlineCallable<void(Tick), 64>;
+
+/** One request as seen by a channel. Move-only (callbacks own state). */
 struct ChanReq
 {
     std::uint64_t id = 0;
@@ -67,16 +90,26 @@ struct ChanReq
      * (TagResult::viaProbe set). May fire more than once for a
      * probed request; consumers must be idempotent.
      */
-    std::function<void(Tick, const TagResult &)> onTagResult;
+    ChanTagCb onTagResult;
 
     /** Data fully transferred (reads: at controller; writes: sent). */
-    std::function<void(Tick)> onDataDone;
+    ChanDataCb onDataDone;
 
     // --- filled in by the channel ---
     Tick enqueued = 0;
     DramCoord coord{};
     bool probed = false;
 };
+
+// The whole request path is move-only and must never throw mid-move:
+// requests sit in the channel's slab pool and in InlineFunction
+// captures (queue-full retries), both of which require nothrow moves.
+static_assert(std::is_nothrow_move_constructible_v<ChanReq>,
+              "ChanReq must be nothrow-move-constructible");
+static_assert(std::is_nothrow_move_assignable_v<ChanReq>,
+              "ChanReq must be nothrow-move-assignable");
+static_assert(!std::is_copy_constructible_v<ChanReq>,
+              "ChanReq must stay move-only (callbacks own state)");
 
 /** Row-buffer management policy. */
 enum class PagePolicy : std::uint8_t
@@ -117,13 +150,16 @@ class DramChannel : public SimObject
 
     /** @name Queue admission (backpressure to the front-end). */
     /// @{
-    bool canAcceptRead() const { return _readQ.size() < _cfg.readQCap; }
+    bool canAcceptRead() const
+    {
+        return _qCount[DirRead] < _cfg.readQCap;
+    }
     bool canAcceptWrite() const
     {
-        return _writeQ.size() < _cfg.writeQCap;
+        return _qCount[DirWrite] < _cfg.writeQCap;
     }
-    std::size_t readQSize() const { return _readQ.size(); }
-    std::size_t writeQSize() const { return _writeQ.size(); }
+    std::size_t readQSize() const { return _qCount[DirRead]; }
+    std::size_t writeQSize() const { return _qCount[DirWrite]; }
     /// @}
 
     /** Enqueue a request; panics if the target queue is full. */
@@ -131,7 +167,8 @@ class DramChannel : public SimObject
 
     /**
      * Retire a queued read early (probe said miss-clean and the
-     * front-end handles it without a data access).
+     * front-end handles it without a data access). O(1) via the
+     * id→node index. Queued read ids must be unique.
      * @return true if the request was found and removed.
      */
     bool removeRead(std::uint64_t id);
@@ -178,10 +215,44 @@ class DramChannel : public SimObject
     Scalar rowConflicts;         ///< open-page PRE-then-ACT conflicts
     /// @}
 
+    /**
+     * @name Host-side instrumentation.
+     * Scheduler work counters for the [host] throughput summaries;
+     * deliberately NOT registered as simulated stats so the stats
+     * dump stays byte-identical to the reference scheduler.
+     */
+    /// @{
+    std::uint64_t hostKicks = 0;           ///< kick() invocations
+    mutable std::uint64_t hostScanSteps = 0; ///< request nodes examined
+    /// @}
+
     /** Register all channel stats on @p g for reporting. */
     void regStats(StatGroup &g) const;
 
   private:
+    static constexpr std::uint32_t NIL = 0xffffffffu;
+    static constexpr unsigned DirRead = 0;
+    static constexpr unsigned DirWrite = 1;
+
+    /** Intrusive list endpoints into the request pool. */
+    struct List
+    {
+        std::uint32_t head = NIL;
+        std::uint32_t tail = NIL;
+    };
+
+    /** One pooled request plus its intrusive list links. */
+    struct ReqNode
+    {
+        ChanReq req;
+        std::uint64_t seq = 0;   ///< global arrival order (FCFS key)
+        std::uint32_t prev = NIL;     ///< global per-direction list
+        std::uint32_t next = NIL;     ///< (next also chains the free list)
+        std::uint32_t bankPrev = NIL; ///< per-bank per-direction list
+        std::uint32_t bankNext = NIL;
+        bool probePending = false;    ///< probe issued, HM not yet fired
+    };
+
     struct BankState
     {
         Tick nextAct = 0;      ///< data mats ready for next ACT
@@ -190,7 +261,53 @@ class DramChannel : public SimObject
         bool rowOpen = false;
         std::uint64_t openRow = 0;
         Tick nextPre = 0;      ///< earliest precharge (tRAS/tWR)
+        // --- scheduler state ---
+        List q[2];                     ///< bank FIFO per direction
+        std::uint16_t opCount[2][2]{}; ///< queued [dir][op kind]
+        /**
+         * Queued requests per [dir][op kind] whose row matches the
+         * open row right now (open page only; all-zero otherwise).
+         * Maintained on link/unlink and rebuilt whenever the bank's
+         * (rowOpen, openRow) changes, so scans know exactly which
+         * (kind, row-hit) classes exist without walking the queue.
+         */
+        std::uint16_t hitCount[2][2]{};
+        std::uint16_t probeEligible = 0; ///< unprobed reads with tag cb
     };
+
+    /** id→node slot of the read-queue index (open addressing). */
+    struct IdSlot
+    {
+        std::uint64_t id = 0;
+        std::uint32_t node = NIL;  ///< NIL = empty slot
+    };
+
+    /**
+     * Tag callback whose request left the queue while a probe result
+     * (and possibly the MAIN HM event) was still in flight; both
+     * deliveries route here by id. refs counts pending deliveries.
+     */
+    struct OrphanCb
+    {
+        std::uint64_t id = 0;
+        ChanTagCb cb;
+        std::uint8_t refs = 0;
+        bool active = false;
+    };
+
+    /** 0 for Read/Write, 1 for ActRd/ActWr (within one direction). */
+    static constexpr unsigned
+    opKindIdx(ChanOp op)
+    {
+        return (op == ChanOp::ActRd || op == ChanOp::ActWr) ? 1u : 0u;
+    }
+
+    static constexpr unsigned
+    dirOf(ChanOp op)
+    {
+        return (op == ChanOp::Write || op == ChanOp::ActWr) ? DirWrite
+                                                            : DirRead;
+    }
 
     /** Open-page: true if @p req hits the currently open row. */
     bool rowHit(const ChanReq &req) const;
@@ -201,11 +318,32 @@ class DramChannel : public SimObject
     /** Earliest tick at which @p req could be issued. */
     Tick earliestIssue(const ChanReq &req) const;
 
-    /** Issue @p req at the current tick (constraints already met). */
-    void issue(ChanReq req);
+    /**
+     * FR-FCFS pick for @p dir at @p now: the oldest issuable row hit
+     * (open page), else the oldest issuable request. NIL if none.
+     * Walks only banks whose bank-level constraints can be met now,
+     * and inside a bank evaluates at most one representative per
+     * (op kind, row-hit) class — requests of one class share every
+     * timing constraint, so this is exactly the oldest-first scan.
+     */
+    std::uint32_t selectReady(unsigned dir, Tick now) const;
+
+    /** First ready node in @p b's @p dir FIFO older than @p seq_bound. */
+    std::uint32_t firstReadyInBank(const BankState &b, unsigned dir,
+                                   Tick now, bool row_hits_only,
+                                   std::uint64_t seq_bound) const;
+
+    /** Exact min earliestIssue over queue @p dir (maxTick if empty). */
+    Tick earliestWake(unsigned dir) const;
+
+    /** Unlink @p idx from its queue and issue it at the current tick. */
+    void dequeueAndIssue(std::uint32_t idx);
+
+    /** Issue @p req now (constraints already met, already unlinked). */
+    void issue(ChanReq &&req, bool probe_pending);
 
     void issueConventional(ChanReq &req, bool is_write);
-    void issueActRd(ChanReq &req);
+    void issueActRd(ChanReq &req, bool probe_pending);
     void issueActWr(ChanReq &req);
 
     /** Push a victim into the flush buffer, retrying on stalls. */
@@ -214,8 +352,40 @@ class DramChannel : public SimObject
     /** Try to issue one early tag probe; @return true if issued. */
     bool tryProbe();
 
-    /** Earliest tick a probe could be issued (maxTick if none). */
+    /**
+     * Earliest tick a probe could be issued (maxTick if none),
+     * from the per-bank probeEligible aggregate: O(banks).
+     */
     Tick earliestProbe() const;
+
+    /** Deliver a probe HM result to the request with @p id. */
+    void deliverProbe(std::uint64_t id, Tick t, const TagResult &tr);
+
+    /** @name Request pool and intrusive lists. */
+    /// @{
+    std::uint32_t allocNode();
+    void freeNode(std::uint32_t idx);
+    void qLink(unsigned dir, std::uint32_t idx);
+    void qUnlink(unsigned dir, std::uint32_t idx);
+    void bankLink(BankState &b, unsigned dir, std::uint32_t idx);
+    void bankUnlink(BankState &b, unsigned dir, std::uint32_t idx);
+    /** Recount hitCount after the bank's open row changed. */
+    void rebuildHitCounts(BankState &b);
+    /// @}
+
+    /** @name O(1) id→node index over queued reads. */
+    /// @{
+    static std::uint64_t hashId(std::uint64_t id);
+    void indexInsert(std::uint64_t id, std::uint32_t node);
+    std::uint32_t indexFind(std::uint64_t id) const;
+    void indexErase(std::uint64_t id);
+    /// @}
+
+    /** @name Orphaned tag callbacks (probe in flight past dequeue). */
+    /// @{
+    void orphanAdd(std::uint64_t id, ChanTagCb cb, std::uint8_t refs);
+    void orphanDeliver(std::uint64_t id, Tick t, const TagResult &tr);
+    /// @}
 
     /**
      * Reserve the DQ bus for a transfer of @p dur starting no
@@ -237,8 +407,16 @@ class DramChannel : public SimObject
     AddressMap _map;
     const TimingParams &_t;
 
-    std::deque<ChanReq> _readQ;
-    std::deque<ChanReq> _writeQ;
+    std::vector<ReqNode> _pool;   ///< fixed slab: readQCap + writeQCap
+    std::uint32_t _freeHead = NIL;
+    List _q[2];                   ///< global FIFOs (read, write)
+    unsigned _qCount[2] = {0, 0};
+    std::uint64_t _nextArrival = 0;
+
+    std::vector<IdSlot> _readIndex;
+    std::uint32_t _indexMask = 0;
+
+    std::vector<OrphanCb> _orphans;
 
     std::vector<BankState> _banks;
     std::deque<Tick> _actWindow;   ///< recent ACTs for tXAW
@@ -254,8 +432,6 @@ class DramChannel : public SimObject
 
     FlushBuffer _flush;
     Tick _flushDrainUntil = 0;
-
-    std::uint64_t _nextReqSeq = 0;
 };
 
 } // namespace tsim

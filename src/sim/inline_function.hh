@@ -1,18 +1,26 @@
 /**
  * @file
- * Small-buffer-optimized move-only callable, the event-callback type
- * of the simulation kernel.
+ * Small-buffer-optimized move-only callables used on the simulator's
+ * hot paths.
  *
  * Every event the simulator schedules captures a handful of words (a
  * component pointer, an address, a tick); wrapping those in a
  * std::function means one heap allocation and one indirect free per
  * event, which dominates the kernel's cost at tens of millions of
- * events per run. InlineFunction stores any callable up to
+ * events per run. InlineCallable stores any callable up to
  * `inlineCapacity` bytes directly inside the object, so the kernel's
  * schedule/execute fast path never touches the allocator. Oversized
  * or over-aligned callables still work via a counted heap fallback;
- * the counter lets tests and the kernel microbenchmark assert that
- * the simulator's real capture sizes stay on the inline path.
+ * the counter lets tests and the microbenchmarks assert that the
+ * simulator's real capture sizes stay on the inline path.
+ *
+ * InlineCallable is a template over the call signature and the inline
+ * capacity: the event kernel uses InlineFunction (= InlineCallable<
+ * void(), 120>), sized so an event can capture a whole channel
+ * completion callback (an 80-byte ChanTagCb plus a TagResult and a
+ * Tick is 112 bytes) without spilling; the DRAM channel's per-request
+ * completion callbacks use 64-byte signatures that carry the
+ * completion tick and tag result.
  */
 
 #ifndef TSIM_SIM_INLINE_FUNCTION_HH
@@ -28,31 +36,39 @@
 namespace tsim
 {
 
-/** Move-only `void()` callable with inline storage. */
-class InlineFunction
+namespace detail
+{
+/** Process-wide count of callables that overflowed to the heap. */
+inline std::atomic<std::uint64_t> inlineCallableHeapFallbacks{0};
+} // namespace detail
+
+template <typename Signature, std::size_t Capacity = 80>
+class InlineCallable;
+
+/** Move-only callable of signature @p R(Args...) with inline storage. */
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineCallable<R(Args...), Capacity>
 {
   public:
-    /**
-     * Inline storage size. Sized for the largest capture the
-     * components use today (a std::function copy + a TagResult + a
-     * Tick is 64 bytes) plus headroom.
-     */
-    static constexpr std::size_t inlineCapacity = 80;
+    /** Inline storage size; callables up to this many bytes (with
+     *  fundamental alignment and nothrow moves) stay on the inline
+     *  path. */
+    static constexpr std::size_t inlineCapacity = Capacity;
 
-    InlineFunction() = default;
+    InlineCallable() = default;
 
     template <typename F,
               typename = std::enable_if_t<
-                  !std::is_same_v<std::decay_t<F>, InlineFunction>>>
-    InlineFunction(F &&f)
+                  !std::is_same_v<std::decay_t<F>, InlineCallable>>>
+    InlineCallable(F &&f)
     {
         emplace(std::forward<F>(f));
     }
 
-    InlineFunction(InlineFunction &&other) noexcept { moveFrom(other); }
+    InlineCallable(InlineCallable &&other) noexcept { moveFrom(other); }
 
-    InlineFunction &
-    operator=(InlineFunction &&other) noexcept
+    InlineCallable &
+    operator=(InlineCallable &&other) noexcept
     {
         if (this != &other) {
             reset();
@@ -61,13 +77,17 @@ class InlineFunction
         return *this;
     }
 
-    InlineFunction(const InlineFunction &) = delete;
-    InlineFunction &operator=(const InlineFunction &) = delete;
+    InlineCallable(const InlineCallable &) = delete;
+    InlineCallable &operator=(const InlineCallable &) = delete;
 
-    ~InlineFunction() { reset(); }
+    ~InlineCallable() { reset(); }
 
     /** Invoke the stored callable (must not be empty). */
-    void operator()() { _invoke(_storage); }
+    R
+    operator()(Args... args)
+    {
+        return _invoke(_storage, std::forward<Args>(args)...);
+    }
 
     explicit operator bool() const { return _invoke != nullptr; }
 
@@ -82,14 +102,16 @@ class InlineFunction
     }
 
     /**
-     * Number of callables (process-wide) that did not fit inline and
-     * fell back to the heap. The kernel tests assert this stays flat
-     * for the capture sizes the simulator actually uses.
+     * Number of callables (process-wide, across every signature) that
+     * did not fit inline and fell back to the heap. The kernel tests
+     * assert this stays flat for the capture sizes the simulator
+     * actually uses.
      */
     static std::uint64_t
     heapFallbacks()
     {
-        return s_heapFallbacks.load(std::memory_order_relaxed);
+        return detail::inlineCallableHeapFallbacks.load(
+            std::memory_order_relaxed);
     }
 
   private:
@@ -99,7 +121,7 @@ class InlineFunction
         Move,     ///< move-construct dst from src, destroy src
     };
 
-    using Invoke = void (*)(void *);
+    using Invoke = R (*)(void *, Args...);
     using Manage = void (*)(Op, void *dst, void *src);
 
     template <typename F>
@@ -114,7 +136,10 @@ class InlineFunction
         if constexpr (fits) {
             ::new (static_cast<void *>(_storage))
                 Fn(std::forward<F>(f));
-            _invoke = [](void *p) { (*static_cast<Fn *>(p))(); };
+            _invoke = [](void *p, Args... args) -> R {
+                return (*static_cast<Fn *>(p))(
+                    std::forward<Args>(args)...);
+            };
             _manage = [](Op op, void *dst, void *src) {
                 auto *s = static_cast<Fn *>(src);
                 if (op == Op::Move) {
@@ -124,10 +149,14 @@ class InlineFunction
             };
         } else {
             // Heap fallback: the buffer holds a single Fn*.
-            s_heapFallbacks.fetch_add(1, std::memory_order_relaxed);
+            detail::inlineCallableHeapFallbacks.fetch_add(
+                1, std::memory_order_relaxed);
             auto *heap = new Fn(std::forward<F>(f));
             ::new (static_cast<void *>(_storage)) Fn *(heap);
-            _invoke = [](void *p) { (**static_cast<Fn **>(p))(); };
+            _invoke = [](void *p, Args... args) -> R {
+                return (**static_cast<Fn **>(p))(
+                    std::forward<Args>(args)...);
+            };
             _manage = [](Op op, void *dst, void *src) {
                 Fn *s = *static_cast<Fn **>(src);
                 if (op == Op::Move)
@@ -139,7 +168,7 @@ class InlineFunction
     }
 
     void
-    moveFrom(InlineFunction &other) noexcept
+    moveFrom(InlineCallable &other) noexcept
     {
         _invoke = other._invoke;
         _manage = other._manage;
@@ -149,12 +178,17 @@ class InlineFunction
         other._manage = nullptr;
     }
 
-    inline static std::atomic<std::uint64_t> s_heapFallbacks{0};
-
     alignas(std::max_align_t) unsigned char _storage[inlineCapacity];
     Invoke _invoke = nullptr;
     Manage _manage = nullptr;
 };
+
+/**
+ * The event-callback type of the simulation kernel. 120 bytes of
+ * inline storage so completion events that capture a moved-in channel
+ * callback (80 bytes) plus its result payload stay allocation-free.
+ */
+using InlineFunction = InlineCallable<void(), 120>;
 
 } // namespace tsim
 

@@ -28,6 +28,8 @@ struct HostPerf
     Tick simTicks = 0;           ///< simulated time covered
     double hostSeconds = 0;      ///< host wall-time spent
     std::uint64_t runs = 0;      ///< simulations aggregated
+    std::uint64_t chanKicks = 0; ///< channel scheduler invocations
+    std::uint64_t chanScans = 0; ///< request nodes examined by them
 
     void
     merge(const HostPerf &o)
@@ -36,6 +38,8 @@ struct HostPerf
         simTicks += o.simTicks;
         hostSeconds += o.hostSeconds;
         runs += o.runs;
+        chanKicks += o.chanKicks;
+        chanScans += o.chanScans;
     }
 
     /** Kernel events per host second. */

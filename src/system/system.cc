@@ -133,6 +133,14 @@ System::run()
     r.hostPerf.simTicks = r.runtimeTicks;
     r.hostPerf.hostSeconds = timer.seconds();
     r.hostPerf.runs = 1;
+    for (unsigned c = 0; c < _dcache->numChannels(); ++c) {
+        r.hostPerf.chanKicks += _dcache->channel(c).hostKicks;
+        r.hostPerf.chanScans += _dcache->channel(c).hostScanSteps;
+    }
+    for (unsigned c = 0; c < _mm->numChannels(); ++c) {
+        r.hostPerf.chanKicks += _mm->channel(c).hostKicks;
+        r.hostPerf.chanScans += _mm->channel(c).hostScanSteps;
+    }
     return r;
 }
 

@@ -1,0 +1,675 @@
+/**
+ * @file
+ * Frozen pre-change DRAM channel scheduler (see legacy_channel.hh).
+ * Mechanically renamed from src/dram/channel.cc as of PR 1; compiled
+ * into the tests and micro_channel only. Do not optimize.
+ */
+
+#include "legacy_channel.hh"
+
+#include <algorithm>
+
+namespace tsim
+{
+
+namespace
+{
+
+/**
+ * HM-bus occupancy of one tag/metadata packet: 3 B over the 4-bit bus
+ * at the full data rate (6 beats, paper §III-B).
+ */
+constexpr Tick hmOccupancy = nsToTicks(0.75);
+
+/** Subtract with clamping at zero (timing offsets on unsigned ticks). */
+constexpr Tick
+subClamp(Tick a, Tick b)
+{
+    return a > b ? a - b : 0;
+}
+
+} // namespace
+
+LegacyDramChannel::LegacyDramChannel(EventQueue &eq, std::string name,
+                         ChannelConfig cfg, AddressMap map)
+    : SimObject(eq, std::move(name)), _cfg(cfg), _map(map),
+      _t(_cfg.timing), _banks(cfg.banks),
+      _flush(cfg.flushEntries)
+{
+    fatal_if(_cfg.banks == 0, "channel needs at least one bank");
+    if (_cfg.refreshEnabled) {
+        _eq.schedule(_t.tREFI, [this] { startRefresh(); });
+    }
+}
+
+void
+LegacyDramChannel::enqueue(LegacyChanReq req)
+{
+    req.enqueued = curTick();
+    req.coord = _map.decode(req.addr);
+    const bool is_write =
+        req.op == ChanOp::Write || req.op == ChanOp::ActWr;
+    if (is_write) {
+        panic_if(_writeQ.size() >= _cfg.writeQCap,
+                 "%s: write queue overflow", name().c_str());
+        _writeQ.push_back(std::move(req));
+    } else {
+        panic_if(_readQ.size() >= _cfg.readQCap,
+                 "%s: read queue overflow", name().c_str());
+        _readQ.push_back(std::move(req));
+    }
+    kick();
+}
+
+bool
+LegacyDramChannel::removeRead(std::uint64_t id)
+{
+    for (auto it = _readQ.begin(); it != _readQ.end(); ++it) {
+        if (it->id == id) {
+            readQueueDelay.sample(ticksToNs(curTick() - it->enqueued));
+            _readQ.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+Tick
+LegacyDramChannel::dqEarliest(bool is_write) const
+{
+    Tick turn = 0;
+    if (_dqEverUsed && _dqLastWrite != is_write)
+        turn = is_write ? _t.tRTW : _t.tWTR;
+    return _dqFreeAt + turn;
+}
+
+Tick
+LegacyDramChannel::reserveDq(bool is_write, Tick start, Tick dur)
+{
+    const Tick earliest = dqEarliest(is_write);
+    if (start < earliest)
+        start = earliest;
+    if (_dqEverUsed && _dqLastWrite != is_write)
+        ++turnarounds;
+    _dqFreeAt = start + dur;
+    _dqLastWrite = is_write;
+    _dqEverUsed = true;
+    return start;
+}
+
+Tick
+LegacyDramChannel::fawConstraint() const
+{
+    if (_actWindow.size() < 4)
+        return 0;
+    return _actWindow[_actWindow.size() - 4] + _t.tXAW;
+}
+
+void
+LegacyDramChannel::recordAct(Tick t)
+{
+    _lastAct = t;
+    _actWindow.push_back(t);
+    if (_actWindow.size() > 4)
+        _actWindow.pop_front();
+}
+
+bool
+LegacyDramChannel::rowHit(const LegacyChanReq &req) const
+{
+    const BankState &b = _banks[req.coord.bank];
+    return b.rowOpen && b.openRow == req.coord.row;
+}
+
+Tick
+LegacyDramChannel::earliestIssue(const LegacyChanReq &req) const
+{
+    const BankState &b = _banks[req.coord.bank];
+    Tick e = std::max(_caFreeAt, _refreshUntil);
+    const bool open_page = _cfg.pagePolicy == PagePolicy::Open &&
+                           (req.op == ChanOp::Read ||
+                            req.op == ChanOp::Write);
+    // Row hits need no ACT, so tRRD/tFAW don't constrain them.
+    if (!(open_page && rowHit(req))) {
+        if (!_actWindow.empty())
+            e = std::max(e, _actWindow.back() + _t.tRRD);
+        e = std::max(e, fawConstraint());
+    }
+    e = std::max(e, b.nextAct);
+
+    if (open_page) {
+        const bool is_write = req.op == ChanOp::Write;
+        // Command-sequence start to first data beat.
+        Tick to_data = is_write ? _t.tCWL : _t.tCL;
+        if (!rowHit(req)) {
+            to_data += _t.tRCD;
+            if (b.rowOpen) {
+                to_data += _t.tRP;          // PRE first
+                e = std::max(e, b.nextPre); // respect tRAS/tWR
+            }
+        }
+        e = std::max(e, subClamp(dqEarliest(is_write), to_data));
+        return e;
+    }
+
+    switch (req.op) {
+      case ChanOp::Read:
+        e = std::max(e, subClamp(dqEarliest(false),
+                                 _t.tRCD + _t.tCL));
+        break;
+      case ChanOp::Write:
+        e = std::max(e, subClamp(dqEarliest(true),
+                                 _t.tRCD_WR + _t.tCWL));
+        break;
+      case ChanOp::ActRd:
+        e = std::max(e, b.tagNextAct);
+        e = std::max(e, subClamp(dqEarliest(false),
+                                 _t.tRCD + _t.tCL));
+        if (!_cfg.hmAtColumn)
+            e = std::max(e, subClamp(_hmFreeAt, _t.hmLatency()));
+        break;
+      case ChanOp::ActWr:
+        e = std::max(e, b.tagNextAct);
+        e = std::max(e, subClamp(dqEarliest(true), _t.tCWL));
+        if (!_cfg.hmAtColumn)
+            e = std::max(e, subClamp(_hmFreeAt, _t.hmLatency()));
+        break;
+    }
+    return e;
+}
+
+void
+LegacyDramChannel::issue(LegacyChanReq req)
+{
+    switch (req.op) {
+      case ChanOp::Read:
+        issueConventional(req, false);
+        break;
+      case ChanOp::Write:
+        issueConventional(req, true);
+        break;
+      case ChanOp::ActRd:
+        issueActRd(req);
+        break;
+      case ChanOp::ActWr:
+        issueActWr(req);
+        break;
+    }
+}
+
+void
+LegacyDramChannel::issueConventional(LegacyChanReq &req, bool is_write)
+{
+    const Tick now = curTick();
+    const unsigned bytes =
+        static_cast<unsigned>(lineBytes * _t.burstScale + 0.5);
+    BankState &b = _banks[req.coord.bank];
+
+    _caFreeAt = now + _t.clkPeriod;
+
+    Tick data_start;
+    if (_cfg.pagePolicy == PagePolicy::Open) {
+        // Open-page: skip the ACT on a row hit; PRE+ACT on a
+        // conflict; plain ACT on a closed bank.
+        Tick col_at = now;
+        if (rowHit(req)) {
+            ++rowHits;
+        } else {
+            Tick act_at = now;
+            if (b.rowOpen) {
+                act_at = now + _t.tRP;  // precharge first
+                ++rowConflicts;
+            }
+            recordAct(act_at);
+            ++dataBankActs;
+            b.rowOpen = true;
+            b.openRow = req.coord.row;
+            b.nextPre = act_at + _t.tRAS;
+            col_at = act_at + (is_write ? _t.tRCD_WR : _t.tRCD);
+        }
+        b.nextAct = col_at + _t.tCCD_L;
+        data_start = reserveDq(
+            is_write, col_at + (is_write ? _t.tCWL : _t.tCL),
+            _t.dataBurst());
+        if (is_write) {
+            b.nextPre = std::max(b.nextPre,
+                                 data_start + _t.dataBurst() + _t.tWR);
+        }
+    } else {
+        recordAct(now);
+        ++dataBankActs;
+        if (is_write) {
+            b.nextAct = now + _t.writeBankBusy();
+            data_start = now + _t.tRCD_WR + _t.tCWL;
+        } else {
+            b.nextAct = now + _t.readBankBusy();
+            data_start = now + _t.tRCD + _t.tCL;
+        }
+        data_start = reserveDq(is_write, data_start, _t.dataBurst());
+    }
+
+    if (is_write) {
+        bytesFromCtrl += bytes;
+        ++issuedWrites;
+    } else {
+        bytesToCtrl += bytes;
+        readQueueDelay.sample(ticksToNs(now - req.enqueued));
+        ++issuedReads;
+    }
+    dqBusyTicks += static_cast<double>(_t.dataBurst());
+
+    const Tick done = data_start + _t.dataBurst();
+    if (req.onDataDone) {
+        _eq.schedule(done,
+                     [cb = req.onDataDone, done] { cb(done); });
+    }
+}
+
+void
+LegacyDramChannel::issueActRd(LegacyChanReq &req)
+{
+    panic_if(!peekTags, "%s: ActRd without a tag backend",
+             name().c_str());
+    const Tick now = curTick();
+    const unsigned bytes =
+        static_cast<unsigned>(lineBytes * _t.burstScale + 0.5);
+    BankState &b = _banks[req.coord.bank];
+
+    _caFreeAt = now + _t.clkPeriod;
+    recordAct(now);
+    b.nextAct = now + _t.readBankBusy();
+    b.tagNextAct = now + _t.tRC_TAG;
+    ++dataBankActs;
+    ++tagBankActs;
+
+    TagResult tr = peekTags(req.addr);
+    // Data streams to the controller on a hit or a miss to a dirty
+    // line (the victim must be written back); a miss to a clean or
+    // invalid line suppresses the column operation entirely.
+    const bool transfer =
+        tr.hit || (!tr.hit && tr.valid && tr.dirty) ||
+        !_cfg.conditionalColumn;
+
+    const Tick data_start = reserveDq(false, now + _t.tRCD + _t.tCL,
+                                      _t.dataBurst());
+    const Tick data_done = data_start + _t.dataBurst();
+
+    Tick hm_tick;
+    if (_cfg.hmAtColumn) {
+        // NDC: the status is determined during the column operation,
+        // so the controller learns it only when the data slot ends.
+        hm_tick = data_done;
+    } else {
+        hm_tick = now + _t.hmLatency();
+        _hmFreeAt = hm_tick + hmOccupancy;
+    }
+
+    if (transfer) {
+        bytesToCtrl += bytes;
+        dqBusyTicks += static_cast<double>(_t.dataBurst());
+        if (req.onDataDone) {
+            _eq.schedule(data_done,
+                         [cb = req.onDataDone, data_done] {
+                             cb(data_done);
+                         });
+        }
+    } else {
+        // Read-miss-clean: the reserved DQ slot goes unused; TDRAM
+        // donates it to flush-buffer unloading (§III-D2 (ii)).
+        if (_cfg.hasFlushBuffer && _cfg.opportunisticDrain &&
+            !_flush.empty()) {
+            const Addr victim = _flush.pop();
+            _flush.beginDrain();
+            ++_flush.drainedOnMissClean;
+            bytesToCtrl += lineBytes;
+            dqBusyTicks += static_cast<double>(_t.dataBurst());
+            _eq.schedule(data_done, [this, victim, data_done] {
+                _flush.completeDrain();
+                if (onFlushArrive)
+                    onFlushArrive(victim, data_done);
+            });
+        } else {
+            dqReservedIdleTicks += static_cast<double>(_t.dataBurst());
+        }
+    }
+
+    if (req.onTagResult) {
+        _eq.schedule(hm_tick, [cb = req.onTagResult, tr, hm_tick] {
+            cb(hm_tick, tr);
+        });
+    }
+    readQueueDelay.sample(ticksToNs(now - req.enqueued));
+    ++issuedActRd;
+}
+
+void
+LegacyDramChannel::issueActWr(LegacyChanReq &req)
+{
+    panic_if(!peekTags, "%s: ActWr without a tag backend",
+             name().c_str());
+    const Tick now = curTick();
+    const unsigned bytes =
+        static_cast<unsigned>(lineBytes * _t.burstScale + 0.5);
+    BankState &b = _banks[req.coord.bank];
+
+    _caFreeAt = now + _t.clkPeriod;
+    recordAct(now);
+    ++dataBankActs;
+    ++tagBankActs;
+    b.tagNextAct = now + _t.tRC_TAG;
+
+    TagResult tr = peekTags(req.addr);
+    const bool miss_dirty = !tr.hit && tr.valid && tr.dirty;
+
+    // Write-miss-dirty performs an internal read of the victim into
+    // the flush buffer before the internal write (Figure 6); the
+    // extra core occupancy is internal and never reaches the DQ bus.
+    Tick bank_busy = _t.writeBankBusy();
+    if (miss_dirty && _cfg.hasFlushBuffer)
+        bank_busy += _t.tRL_core + _t.tRTW_int;
+    b.nextAct = now + bank_busy;
+
+    const Tick data_start =
+        reserveDq(true, now + _t.tCWL, _t.dataBurst());
+    const Tick data_done = data_start + _t.dataBurst();
+    bytesFromCtrl += bytes;
+    dqBusyTicks += static_cast<double>(_t.dataBurst());
+
+    Tick hm_tick;
+    if (_cfg.hmAtColumn) {
+        hm_tick = data_done;
+    } else {
+        hm_tick = now + _t.hmLatency();
+        _hmFreeAt = hm_tick + hmOccupancy;
+    }
+
+    if (miss_dirty && _cfg.hasFlushBuffer) {
+        // The victim lands in the flush buffer once the internal read
+        // completes. If the buffer is full this is a TDRAM stall: the
+        // controller must force a drain (§III-D2 (iii)).
+        const Tick push_at = now + _t.tRCD + _t.tRL_core;
+        const Addr victim = tr.victimAddr;
+        _eq.schedule(push_at, [this, victim] { flushPushRetry(victim); });
+    }
+
+    if (req.onTagResult) {
+        _eq.schedule(hm_tick, [cb = req.onTagResult, tr, hm_tick] {
+            cb(hm_tick, tr);
+        });
+    }
+    if (req.onDataDone) {
+        _eq.schedule(data_done, [cb = req.onDataDone, data_done] {
+            cb(data_done);
+        });
+    }
+    ++issuedActWr;
+}
+
+void
+LegacyDramChannel::flushPushRetry(Addr victim)
+{
+    if (_flush.push(victim)) {
+        kick();
+        return;
+    }
+    // Buffer (including in-flight drains) is full: force an explicit
+    // drain and retry once capacity frees up.
+    forceDrain();
+    const Tick retry =
+        std::max(curTick() + _t.dataBurst(), _flushDrainUntil);
+    _eq.schedule(retry, [this, victim] { flushPushRetry(victim); });
+}
+
+void
+LegacyDramChannel::forceDrain()
+{
+    if (_flush.empty())
+        return;
+    // Entries drain back-to-back as a group to amortize the DQ
+    // read-direction turnaround (paper §III-D2 (iii); NDC's RES).
+    Tick start = std::max(curTick(), dqEarliest(false));
+    if (_dqEverUsed && _dqLastWrite)
+        ++turnarounds;
+    while (!_flush.empty()) {
+        const Addr victim = _flush.pop();
+        _flush.beginDrain();
+        ++_flush.drainedForced;
+        bytesToCtrl += lineBytes;
+        dqBusyTicks += static_cast<double>(_t.tBURST);
+        const Tick done = start + _t.tBURST;
+        _eq.schedule(done, [this, victim, done] {
+            _flush.completeDrain();
+            if (onFlushArrive)
+                onFlushArrive(victim, done);
+        });
+        start = done;
+    }
+    _dqFreeAt = start;
+    _dqLastWrite = false;
+    _dqEverUsed = true;
+    _flushDrainUntil = start;
+}
+
+bool
+LegacyDramChannel::tryProbe()
+{
+    if (!_cfg.enableProbe || _readQ.empty())
+        return false;
+    const Tick now = curTick();
+    if (_caFreeAt > now || _refreshUntil > now)
+        return false;
+    const Tick hm_lat = _t.hmLatency();
+    if (subClamp(_hmFreeAt, hm_lat) > now)
+        return false;
+
+    // Among probe-eligible requests pick the *youngest* (paper
+    // §III-E2) to minimize average queueing delay.
+    for (auto it = _readQ.rbegin(); it != _readQ.rend(); ++it) {
+        if (it->probed || !it->onTagResult)
+            continue;
+        BankState &b = _banks[it->coord.bank];
+        if (b.tagNextAct > now) {
+            ++probeBankConflicts;
+            continue;
+        }
+        it->probed = true;
+        _caFreeAt = now + _t.clkPeriod;
+        b.tagNextAct = now + _t.tRC_TAG;
+        ++tagBankActs;
+        ++probesIssued;
+        TagResult tr = peekTags(it->addr);
+        tr.viaProbe = true;
+        const Tick hm_tick = now + hm_lat;
+        _hmFreeAt = hm_tick + hmOccupancy;
+        _eq.schedule(hm_tick, [cb = it->onTagResult, tr, hm_tick] {
+            cb(hm_tick, tr);
+        });
+        return true;
+    }
+    return false;
+}
+
+Tick
+LegacyDramChannel::earliestProbe() const
+{
+    if (!_cfg.enableProbe)
+        return maxTick;
+    Tick best = maxTick;
+    for (const auto &req : _readQ) {
+        if (req.probed || !req.onTagResult)
+            continue;
+        Tick e = std::max(_caFreeAt, _refreshUntil);
+        e = std::max(e, _banks[req.coord.bank].tagNextAct);
+        e = std::max(e, subClamp(_hmFreeAt, _t.hmLatency()));
+        best = std::min(best, e);
+    }
+    return best;
+}
+
+void
+LegacyDramChannel::startRefresh()
+{
+    const Tick now = curTick();
+    ++refreshes;
+    _refreshUntil = now + _t.tRFC;
+    for (auto &b : _banks) {
+        b.nextAct = std::max(b.nextAct, _refreshUntil);
+        // Tag mats refresh in parallel with data mats (§III-C2).
+        b.tagNextAct = std::max(b.tagNextAct, _refreshUntil);
+        // Refresh closes every open row.
+        b.rowOpen = false;
+    }
+
+    // TDRAM unloads the flush buffer while the DQ bus idles during
+    // refresh (§III-D2 (i)).
+    if (_cfg.hasFlushBuffer && _cfg.opportunisticDrain &&
+        !_flush.empty()) {
+        Tick start = std::max(now, _dqFreeAt);
+        while (!_flush.empty() &&
+               start + _t.tBURST <= _refreshUntil) {
+            const Addr victim = _flush.pop();
+            _flush.beginDrain();
+            ++_flush.drainedOnRefresh;
+            bytesToCtrl += lineBytes;
+            dqBusyTicks += static_cast<double>(_t.tBURST);
+            const Tick done = start + _t.tBURST;
+            _eq.schedule(done, [this, victim, done] {
+                _flush.completeDrain();
+                if (onFlushArrive)
+                    onFlushArrive(victim, done);
+            });
+            start = done;
+        }
+        _dqFreeAt = std::max(_dqFreeAt, start);
+        _dqLastWrite = false;
+        _dqEverUsed = true;
+    }
+
+    _eq.schedule(now + _t.tREFI, [this] { startRefresh(); });
+    scheduleKick(_refreshUntil);
+}
+
+void
+LegacyDramChannel::scheduleKick(Tick when)
+{
+    const Tick now = curTick();
+    if (when <= now)
+        when = now;
+    if (_nextKick != 0 && _nextKick <= when && _nextKick > now)
+        return;
+    _nextKick = when;
+    _eq.schedule(when, [this, when] {
+        if (_nextKick == when)
+            _nextKick = 0;
+        kick();
+    });
+}
+
+void
+LegacyDramChannel::kick()
+{
+    const Tick now = curTick();
+
+    // Write-drain hysteresis.
+    auto update_mode = [this] {
+        if (_drainingWrites) {
+            if (_writeQ.size() <= _cfg.writeLow)
+                _drainingWrites = false;
+        } else if (_writeQ.size() >= _cfg.writeHigh) {
+            _drainingWrites = true;
+        }
+    };
+    update_mode();
+
+    // Issue the oldest ready request from the preferred queue; when
+    // no read can issue right now, an issuable write may go instead
+    // (and vice versa in drain mode: writes strictly first).
+    auto issue_at = [&](std::deque<LegacyChanReq> &q,
+                        std::deque<LegacyChanReq>::iterator it) {
+        LegacyChanReq r = std::move(*it);
+        q.erase(it);
+        issue(std::move(r));
+        update_mode();
+    };
+    auto try_issue_from = [&](std::deque<LegacyChanReq> &q) {
+        // FR-FCFS: under the open-page policy, the oldest issuable
+        // *row hit* goes first; otherwise (and for close-page)
+        // oldest issuable wins.
+        if (_cfg.pagePolicy == PagePolicy::Open) {
+            for (auto it = q.begin(); it != q.end(); ++it) {
+                if (rowHit(*it) && earliestIssue(*it) <= now) {
+                    issue_at(q, it);
+                    return true;
+                }
+            }
+        }
+        for (auto it = q.begin(); it != q.end(); ++it) {
+            if (earliestIssue(*it) <= now) {
+                issue_at(q, it);
+                return true;
+            }
+        }
+        return false;
+    };
+
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        if (_drainingWrites) {
+            progress = try_issue_from(_writeQ);
+        } else {
+            progress = try_issue_from(_readQ) ||
+                       try_issue_from(_writeQ);
+        }
+    }
+
+    // Early tag probing uses otherwise-idle CA / tag-bank / HM slots.
+    while (tryProbe()) {
+    }
+
+    // Compute the next wake-up from the queues the policy will
+    // actually serve at that time.
+    Tick wake = maxTick;
+    for (const auto &r : _writeQ)
+        wake = std::min(wake, earliestIssue(r));
+    if (!_drainingWrites) {
+        for (const auto &r : _readQ)
+            wake = std::min(wake, earliestIssue(r));
+        wake = std::min(wake, earliestProbe());
+    }
+    if (wake != maxTick)
+        scheduleKick(std::max(wake, now + 1));
+}
+
+void
+LegacyDramChannel::regStats(StatGroup &g) const
+{
+    g.addHistogram("read_queue_delay_ns", &readQueueDelay,
+                   "read-buffer queueing delay (Fig 2/10)");
+    g.addScalar("issued_reads", &issuedReads);
+    g.addScalar("issued_writes", &issuedWrites);
+    g.addScalar("issued_actrd", &issuedActRd);
+    g.addScalar("issued_actwr", &issuedActWr);
+    g.addScalar("probes_issued", &probesIssued);
+    g.addScalar("probe_bank_conflicts", &probeBankConflicts);
+    g.addScalar("refreshes", &refreshes);
+    g.addScalar("bytes_to_ctrl", &bytesToCtrl);
+    g.addScalar("bytes_from_ctrl", &bytesFromCtrl);
+    g.addScalar("dq_busy_ticks", &dqBusyTicks);
+    g.addScalar("dq_reserved_idle_ticks", &dqReservedIdleTicks);
+    g.addScalar("turnarounds", &turnarounds);
+    g.addScalar("data_bank_acts", &dataBankActs);
+    g.addScalar("tag_bank_acts", &tagBankActs);
+    g.addScalar("row_hits", &rowHits);
+    g.addScalar("row_conflicts", &rowConflicts);
+    g.addHistogram("flush_occupancy", &_flush.occupancy,
+                   "flush-buffer occupancy at push (§V-E)");
+    g.addScalar("flush_stalls", &_flush.stalls);
+    g.addScalar("flush_max_occupancy", &_flush.maxOccupancy);
+    g.addScalar("flush_drained_miss_clean", &_flush.drainedOnMissClean);
+    g.addScalar("flush_drained_refresh", &_flush.drainedOnRefresh);
+    g.addScalar("flush_drained_forced", &_flush.drainedForced);
+    g.addScalar("flush_superseded", &_flush.superseded);
+}
+
+} // namespace tsim

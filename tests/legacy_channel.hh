@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Reference copy of the pre-incremental DRAM channel scheduler.
+ *
+ * This is the deque-scanning, std::function-callback channel exactly
+ * as it stood before the allocation-free incremental rewrite of
+ * src/dram/channel.{hh,cc}. It is compiled only into the test binary
+ * and the micro_channel benchmark, where it serves as the behavioural
+ * oracle: the differential test (channel_sched_test.cpp) and the
+ * benchmark's checksum cross-check both replay identical request
+ * streams through this scheduler and the production one and demand
+ * byte-identical stats.
+ *
+ * Do not "fix" or optimize this file — its value is being frozen.
+ */
+
+#ifndef TSIM_TESTS_LEGACY_CHANNEL_HH
+#define TSIM_TESTS_LEGACY_CHANNEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "dram/channel.hh"
+#include "dram/timing.hh"
+#include "mem/address_map.hh"
+#include "mem/types.hh"
+#include "sim/event_queue.hh"
+#include "stats/stats.hh"
+#include "tdram/flush_buffer.hh"
+#include "tdram/tag_array.hh"
+
+namespace tsim
+{
+
+/** One request as seen by the legacy channel (heap-allocating cbs). */
+struct LegacyChanReq
+{
+    std::uint64_t id = 0;
+    Addr addr = 0;
+    ChanOp op = ChanOp::Read;
+    bool isDemandRead = false;
+
+    std::function<void(Tick, const TagResult &)> onTagResult;
+    std::function<void(Tick)> onDataDone;
+
+    Tick enqueued = 0;
+    DramCoord coord{};
+    bool probed = false;
+};
+
+/** The pre-change DRAM channel: O(n) deque scans on every kick. */
+class LegacyDramChannel : public SimObject
+{
+  public:
+    LegacyDramChannel(EventQueue &eq, std::string name,
+                      ChannelConfig cfg, AddressMap map);
+
+    bool canAcceptRead() const { return _readQ.size() < _cfg.readQCap; }
+    bool canAcceptWrite() const
+    {
+        return _writeQ.size() < _cfg.writeQCap;
+    }
+    std::size_t readQSize() const { return _readQ.size(); }
+    std::size_t writeQSize() const { return _writeQ.size(); }
+
+    void enqueue(LegacyChanReq req);
+    bool removeRead(std::uint64_t id);
+
+    bool flushContains(Addr addr) const { return _flush.contains(addr); }
+    bool flushRemove(Addr addr) { return _flush.remove(addr); }
+    unsigned flushSize() const { return _flush.size(); }
+    const FlushBuffer &flushBuffer() const { return _flush; }
+    void forceDrain();
+
+    std::function<TagResult(Addr)> peekTags;
+    std::function<void(Addr, Tick)> onFlushArrive;
+
+    const ChannelConfig &config() const { return _cfg; }
+
+    Histogram readQueueDelay{2.0, 256};
+    Scalar issuedReads;
+    Scalar issuedWrites;
+    Scalar issuedActRd;
+    Scalar issuedActWr;
+    Scalar probesIssued;
+    Scalar probeBankConflicts;
+    Scalar refreshes;
+    Scalar bytesToCtrl;
+    Scalar bytesFromCtrl;
+    Scalar dqBusyTicks;
+    Scalar dqReservedIdleTicks;
+    Scalar turnarounds;
+    Scalar dataBankActs;
+    Scalar tagBankActs;
+    Scalar rowHits;
+    Scalar rowConflicts;
+
+    void regStats(StatGroup &g) const;
+
+  private:
+    struct BankState
+    {
+        Tick nextAct = 0;
+        Tick tagNextAct = 0;
+        bool rowOpen = false;
+        std::uint64_t openRow = 0;
+        Tick nextPre = 0;
+    };
+
+    bool rowHit(const LegacyChanReq &req) const;
+
+    void kick();
+    void scheduleKick(Tick when);
+
+    Tick earliestIssue(const LegacyChanReq &req) const;
+
+    void issue(LegacyChanReq req);
+
+    void issueConventional(LegacyChanReq &req, bool is_write);
+    void issueActRd(LegacyChanReq &req);
+    void issueActWr(LegacyChanReq &req);
+
+    void flushPushRetry(Addr victim);
+
+    bool tryProbe();
+    Tick earliestProbe() const;
+
+    Tick reserveDq(bool is_write, Tick start, Tick dur);
+    Tick dqEarliest(bool is_write) const;
+
+    Tick fawConstraint() const;
+    void recordAct(Tick t);
+
+    void startRefresh();
+
+    bool inWriteDrain() const { return _drainingWrites; }
+
+    ChannelConfig _cfg;
+    AddressMap _map;
+    const TimingParams &_t;
+
+    std::deque<LegacyChanReq> _readQ;
+    std::deque<LegacyChanReq> _writeQ;
+
+    std::vector<BankState> _banks;
+    std::deque<Tick> _actWindow;
+    Tick _lastAct = 0;
+    Tick _caFreeAt = 0;
+    Tick _hmFreeAt = 0;
+    Tick _dqFreeAt = 0;
+    bool _dqLastWrite = false;
+    bool _dqEverUsed = false;
+    Tick _refreshUntil = 0;
+    bool _drainingWrites = false;
+    Tick _nextKick = 0;
+
+    FlushBuffer _flush;
+    Tick _flushDrainUntil = 0;
+
+    std::uint64_t _nextReqSeq = 0;
+};
+
+} // namespace tsim
+
+#endif // TSIM_TESTS_LEGACY_CHANNEL_HH

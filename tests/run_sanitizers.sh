@@ -3,10 +3,14 @@
 # CMakePresets.json.
 #
 #   ASan + UBSan : full tdram_tests suite (memory errors, UB in the
-#                  event kernel's placement-new / pool machinery).
-#   TSan         : SweepRunner tests only — the rest of the simulator
-#                  is single-threaded, and a full TSan run of the
-#                  whole suite takes far longer for no extra coverage.
+#                  event kernel's placement-new / pool machinery and
+#                  the channel scheduler's slab pool / intrusive
+#                  lists / inline-callable moves).
+#   TSan         : SweepRunner tests plus the channel stress and
+#                  old-vs-new differential schedulers — the rest of
+#                  the simulator is single-threaded, and a full TSan
+#                  run of the whole suite takes far longer for no
+#                  extra coverage.
 #
 # Usage: tests/run_sanitizers.sh [asan|ubsan|tsan ...]
 #        (no args = all three, in order)
@@ -28,7 +32,7 @@ for san in "${sanitizers[@]}"; do
         tsan)
             TSAN_OPTIONS="halt_on_error=1" \
                 "./build-$san/tests/tdram_tests" \
-                --gtest_filter='SweepRunner*'
+                --gtest_filter='SweepRunner*:*ChannelStress*:*ChannelSched*'
             ;;
         asan)
             ASAN_OPTIONS="detect_leaks=1" \
