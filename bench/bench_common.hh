@@ -31,6 +31,7 @@ struct Options
     std::uint64_t warmupOpsPerCore = 150000;
     std::uint64_t seed = 1;
     unsigned jobs = 0;            ///< workers; 0 = hardware_concurrency
+    std::string tracePrefix;      ///< .tdt per run when non-empty
 };
 
 inline Options
@@ -51,10 +52,13 @@ parseArgs(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
             o.jobs = static_cast<unsigned>(
                 std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--trace") == 0 &&
+                   i + 1 < argc) {
+            o.tracePrefix = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: %s [--full] [--ops N] [--warmup N] "
-                         "[--seed N] [--jobs N]\n",
+                         "[--seed N] [--jobs N] [--trace PREFIX]\n",
                          argv[0]);
             std::exit(1);
         }
@@ -108,8 +112,10 @@ class RunCache
                 std::string key = cacheKey(d, wl);
                 if (_runs.count(key))
                     continue;
-                jobs.push_back(
-                    tsim::SweepJob{baseConfig(_opts, d), wl});
+                tsim::SweepJob job{baseConfig(_opts, d), wl};
+                if (!_opts.tracePrefix.empty())
+                    job.cfg.tracePath = tracePath(key);
+                jobs.push_back(std::move(job));
                 keys.push_back(std::move(key));
             }
         }
@@ -129,6 +135,8 @@ class RunCache
         if (it != _runs.end())
             return it->second;
         tsim::SystemConfig cfg = baseConfig(_opts, d);
+        if (!_opts.tracePrefix.empty())
+            cfg.tracePath = tracePath(key);
         auto [pos, ok] = _runs.emplace(key, tsim::runOne(cfg, wl));
         (void)ok;
         _perf.merge(pos->second.hostPerf);
@@ -167,6 +175,16 @@ class RunCache
     cacheKey(tsim::Design d, const tsim::WorkloadProfile &wl)
     {
         return std::string(tsim::designName(d)) + "/" + wl.name;
+    }
+
+    /** Per-run trace file: prefix + sanitized cache key + .tdt. */
+    std::string
+    tracePath(const std::string &key) const
+    {
+        std::string p = _opts.tracePrefix + "_";
+        for (char c : key)
+            p += (c == '/' || c == '.') ? '-' : c;
+        return p + ".tdt";
     }
 
     Options _opts;

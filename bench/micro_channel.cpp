@@ -11,6 +11,11 @@
  * full stats dumps produce the same checksum, so this binary doubles
  * as the old-vs-new cross-check that ctest's perf-smoke label runs.
  *
+ * The production scheduler additionally runs with a live TraceBuffer
+ * attached (memory-only ring), so the JSON reports both the
+ * tracing-off cost of the compiled-in hooks (null-pointer test only)
+ * and the tracing-on recording overhead.
+ *
  * Emits BENCH_channel.json (override with --out FILE).
  *
  * Usage: micro_channel [--requests N] [--seed N] [--out FILE]
@@ -31,6 +36,7 @@
 #include "dram/channel.hh"
 #include "legacy_channel.hh"
 #include "sim/rng.hh"
+#include "trace/trace.hh"
 
 // ---------------------------------------------------------------------
 // Global allocation counter. Counts every operator new in the
@@ -121,7 +127,8 @@ constexpr KindCfg kKinds[] = {
  */
 template <typename ChanT, typename ReqT>
 std::uint64_t
-drive(const KindCfg &k, std::uint64_t total, std::uint32_t seed)
+drive(const KindCfg &k, std::uint64_t total, std::uint32_t seed,
+      TraceBuffer *tb = nullptr)
 {
     EventQueue eq;
     AddressMap map(kCap, 1, 16, 1024);
@@ -135,6 +142,10 @@ drive(const KindCfg &k, std::uint64_t total, std::uint32_t seed)
     cfg.hasFlushBuffer = k.inDramTags;
     cfg.opportunisticDrain = !k.hmAtColumn;
     ChanT chan(eq, "ch", cfg, map);
+    if constexpr (std::is_same_v<ChanT, DramChannel>)
+        chan.traceBuf = tb;
+    else
+        (void)tb;  // the frozen legacy scheduler predates tracing
 
     std::uint64_t checksum = 14695981039346656037ULL;
     chan.peekTags = [seed](Addr a) { return tagsFor(a, seed); };
@@ -211,16 +222,18 @@ struct Measurement
 
 template <typename ChanT, typename ReqT>
 Measurement
-measure(const KindCfg &k, std::uint64_t requests, std::uint32_t seed)
+measure(const KindCfg &k, std::uint64_t requests, std::uint32_t seed,
+        TraceBuffer *tb = nullptr)
 {
     // Warm-up pass: populates event pools so the measured region
     // reflects steady state.
-    drive<ChanT, ReqT>(k, requests / 8 + 1, seed);
+    drive<ChanT, ReqT>(k, requests / 8 + 1, seed, tb);
 
     const std::uint64_t allocs0 =
         g_allocCount.load(std::memory_order_relaxed);
     const auto t0 = std::chrono::steady_clock::now();
-    const std::uint64_t checksum = drive<ChanT, ReqT>(k, requests, seed);
+    const std::uint64_t checksum =
+        drive<ChanT, ReqT>(k, requests, seed, tb);
     const auto t1 = std::chrono::steady_clock::now();
     const std::uint64_t allocs1 =
         g_allocCount.load(std::memory_order_relaxed);
@@ -276,6 +289,16 @@ main(int argc, char **argv)
                                                       seed);
         const std::uint64_t fast_fallbacks =
             tsim::InlineFunction::heapFallbacks() - fallbacks0;
+
+        // Tracing-on pass: same scheduler with a live memory-only
+        // ring attached, isolating the record() overhead.
+        Measurement traced;
+        {
+            tsim::Tracer tracer("", 1, 4096);
+            traced = measure<tsim::DramChannel, tsim::ChanReq>(
+                k, requests, seed, &tracer.buffer(0));
+        }
+
         const Measurement legacy =
             measure<tsim::LegacyDramChannel, tsim::LegacyChanReq>(
                 k, requests, seed);
@@ -288,24 +311,40 @@ main(int argc, char **argv)
                 (unsigned long long)legacy.checksum);
             mismatch = true;
         }
+        if (traced.checksum != fast.checksum) {
+            std::fprintf(
+                stderr,
+                "FAIL: %s tracing perturbed the simulation "
+                "(checksum %llx vs %llx)\n",
+                k.name, (unsigned long long)traced.checksum,
+                (unsigned long long)fast.checksum);
+            mismatch = true;
+        }
 
         const double speedup = fast.reqPerSec / legacy.reqPerSec;
+        const double trace_overhead =
+            1.0 - traced.reqPerSec / fast.reqPerSec;
         speedup_product *= speedup;
         ++nkinds;
         std::printf("%-20s fast %9.0f req/s  %.4f allocs/req  "
+                    "| traced %9.0f req/s (%+.1f%%)  "
                     "| legacy %9.0f req/s  %.4f allocs/req  "
                     "| %.2fx  (%llu SBO fallbacks)\n",
                     k.name, fast.reqPerSec, fast.allocsPerReq,
+                    traced.reqPerSec, -trace_overhead * 100,
                     legacy.reqPerSec, legacy.allocsPerReq, speedup,
                     (unsigned long long)fast_fallbacks);
 
-        char buf[512];
+        char buf[768];
         std::snprintf(
             buf, sizeof(buf),
             "%s    {\n"
             "      \"kind\": \"%s\",\n"
             "      \"fast\": {\"req_per_sec\": %.0f, "
             "\"allocs_per_req\": %.6f, \"sbo_heap_fallbacks\": %llu},\n"
+            "      \"fast_traced\": {\"req_per_sec\": %.0f, "
+            "\"allocs_per_req\": %.6f},\n"
+            "      \"trace_overhead\": %.4f,\n"
             "      \"legacy\": {\"req_per_sec\": %.0f, "
             "\"allocs_per_req\": %.6f},\n"
             "      \"speedup\": %.3f,\n"
@@ -313,8 +352,12 @@ main(int argc, char **argv)
             "    }",
             kinds_json.empty() ? "" : ",\n", k.name, fast.reqPerSec,
             fast.allocsPerReq, (unsigned long long)fast_fallbacks,
+            traced.reqPerSec, traced.allocsPerReq, trace_overhead,
             legacy.reqPerSec, legacy.allocsPerReq, speedup,
-            fast.checksum == legacy.checksum ? "true" : "false");
+            fast.checksum == legacy.checksum &&
+                    traced.checksum == fast.checksum
+                ? "true"
+                : "false");
         kinds_json += buf;
     }
 
@@ -328,10 +371,12 @@ main(int argc, char **argv)
                      "  \"bench\": \"micro_channel\",\n"
                      "  \"requests\": %llu,\n"
                      "  \"seed\": %u,\n"
+                     "  \"trace_compiled\": %s,\n"
                      "  \"kinds\": [\n%s\n  ],\n"
                      "  \"geomean_speedup\": %.3f\n"
                      "}\n",
                      (unsigned long long)requests, seed,
+                     tsim::traceCompiledIn() ? "true" : "false",
                      kinds_json.c_str(), geomean);
         std::fclose(f);
     } else {

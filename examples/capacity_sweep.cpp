@@ -8,7 +8,12 @@
  * rows are printed in grid order, so the CSV is byte-identical for
  * any worker count.
  *
- * Usage: capacity_sweep [workload] [opsPerCore] [--jobs N] > sweep.csv
+ * Usage: capacity_sweep [workload] [opsPerCore] [--jobs N]
+ *                       [--trace PREFIX] > sweep.csv
+ *
+ * --trace PREFIX writes one .tdt event trace per grid point
+ * (PREFIX_jobNNN.tdt); the files are byte-identical for any --jobs
+ * value, which the CI determinism gate checks with trace_tool diff.
  */
 
 #include <cstdio>
@@ -28,11 +33,15 @@ main(int argc, char **argv)
     std::string wl_name = "is.D";
     std::uint64_t ops = 6000;
     unsigned jobs = 0;
+    std::string trace_prefix;
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
             jobs = static_cast<unsigned>(
                 std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--trace") == 0 &&
+                   i + 1 < argc) {
+            trace_prefix = argv[++i];
         } else {
             positional.push_back(argv[i]);
         }
@@ -58,6 +67,8 @@ main(int argc, char **argv)
             mibs.push_back(mib);
         }
     }
+
+    applyTracePrefix(sweep, trace_prefix);
 
     const SweepRunner runner(jobs);
     const std::vector<SimReport> reports = runner.run(sweep);

@@ -12,7 +12,12 @@
  *    host throughput goes to stderr.
  *
  * Usage: design_explorer [workload] [design] [opsPerCore]
+ *                        [--trace PATH]
  *        design_explorer --sweep [--full] [--jobs N] [--ops N]
+ *                        [--trace PREFIX]
+ *
+ * --trace writes .tdt event traces (single run: exactly PATH; sweep:
+ * PREFIX_jobNNN.tdt per grid point, byte-identical for any --jobs).
  */
 
 #include <cstdio>
@@ -45,7 +50,8 @@ parseDesign(const std::string &s)
 }
 
 int
-runSweep(bool full, unsigned jobs, std::uint64_t ops)
+runSweep(bool full, unsigned jobs, std::uint64_t ops,
+         const std::string &trace_prefix)
 {
     using namespace tsim;
 
@@ -66,6 +72,8 @@ runSweep(bool full, unsigned jobs, std::uint64_t ops)
             sweep.push_back(std::move(job));
         }
     }
+
+    applyTracePrefix(sweep, trace_prefix);
 
     const SweepRunner runner(jobs);
     const HostTimer timer;
@@ -103,6 +111,7 @@ main(int argc, char **argv)
     bool full = false;
     unsigned jobs = 0;
     std::uint64_t ops = 20000;
+    std::string trace_path;
     std::vector<std::string> positional;
 
     for (int i = 1; i < argc; ++i) {
@@ -115,13 +124,16 @@ main(int argc, char **argv)
                 std::strtoul(argv[++i], nullptr, 10));
         } else if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
             ops = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--trace") == 0 &&
+                   i + 1 < argc) {
+            trace_path = argv[++i];
         } else {
             positional.push_back(argv[i]);
         }
     }
 
     if (sweep)
-        return runSweep(full, jobs, ops);
+        return runSweep(full, jobs, ops, trace_path);
 
     const std::string wl_name =
         positional.size() > 0 ? positional[0] : "ft.C";
@@ -133,6 +145,7 @@ main(int argc, char **argv)
     SystemConfig cfg;
     cfg.design = parseDesign(design);
     cfg.cores.opsPerCore = ops;
+    cfg.tracePath = trace_path;
 
     System sys(cfg, findWorkload(wl_name));
     SimReport r = sys.run();

@@ -44,6 +44,7 @@ struct CliOptions
     bool predictor = false;
     bool fullStats = false;
     bool csv = false;
+    std::string tracePath;  ///< .tdt output (run) / prefix (others)
 };
 
 [[noreturn]] void
@@ -57,7 +58,9 @@ usage()
         "  sweep <workload> <design> <param> <v1,v2,...>\n"
         "options: --ops N --warmup N --seed N --capacity MiB\n"
         "         --ways W --no-probe --open-page --predictor\n"
-        "         --stats --csv\n");
+        "         --stats --csv --trace PATH\n"
+        "  --trace writes a .tdt event trace (run: exactly PATH;\n"
+        "  compare/sweep: PATH is a prefix, one file per run)\n");
     std::exit(1);
 }
 
@@ -92,6 +95,10 @@ parseOptions(int argc, char **argv, int first)
             o.fullStats = true;
         } else if (a == "--csv") {
             o.csv = true;
+        } else if (a == "--trace") {
+            if (i + 1 >= argc)
+                usage();
+            o.tracePath = argv[++i];
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
             usage();
@@ -209,7 +216,9 @@ cmdRun(int argc, char **argv)
     const WorkloadProfile &wl = findWorkload(argv[2]);
     const Design d = parseDesign(argv[3]);
 
-    System sys(makeConfig(o, d), wl);
+    SystemConfig cfg = makeConfig(o, d);
+    cfg.tracePath = o.tracePath;
+    System sys(cfg, wl);
     const SimReport r = sys.run();
     if (o.csv) {
         printCsvHeader();
@@ -242,7 +251,10 @@ cmdCompare(int argc, char **argv)
                     "runtime_us", "missR", "tagChk", "rdLat", "bloat",
                     "energy_mJ");
     for (Design d : designs) {
-        const SimReport r = runOne(makeConfig(o, d), wl);
+        SystemConfig cfg = makeConfig(o, d);
+        if (!o.tracePath.empty())
+            cfg.tracePath = o.tracePath + "_" + designName(d) + ".tdt";
+        const SimReport r = runOne(cfg, wl);
         if (o.csv) {
             printCsvRow(r);
         } else {
@@ -294,6 +306,10 @@ cmdSweep(int argc, char **argv)
             std::fprintf(stderr, "unknown sweep param '%s'\n",
                          param.c_str());
             usage();
+        }
+        if (!o.tracePath.empty()) {
+            cfg.tracePath = o.tracePath + "_" + param + "_" +
+                            std::to_string(v) + ".tdt";
         }
         const SimReport r = runOne(cfg, wl);
         std::printf("%s,%llu,", param.c_str(),

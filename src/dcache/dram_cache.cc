@@ -88,6 +88,9 @@ DramCacheCtrl::access(MemPacket pkt, RespCallback cb)
         ++demandReads;
     else
         ++demandWrites;
+    TSIM_TRACE_EVENT(traceBuf, TraceKind::DemandStart, pkt.created,
+                     pkt.addr, traceBankNone, 0,
+                     pkt.cmd == MemCmd::Write ? 1u : 0u);
 
     auto txn = std::make_shared<Txn>();
     txn->pkt = pkt;
@@ -244,6 +247,10 @@ DramCacheCtrl::respond(const TxnPtr &txn, Tick when)
         return;
     txn->finished = true;
     txn->pkt.completed = when;
+    TSIM_TRACE_EVENT(traceBuf, TraceKind::DemandDone, when,
+                     txn->pkt.addr, traceBankNone,
+                     when - txn->pkt.created,
+                     static_cast<std::uint32_t>(txn->pkt.outcome));
     if (txn->pkt.cmd == MemCmd::Read)
         readLatency.sample(ticksToNs(when - txn->pkt.created));
     if (txn->cb)

@@ -30,6 +30,7 @@
 #include "sim/event_queue.hh"
 #include "stats/stats.hh"
 #include "tdram/tag_array.hh"
+#include "trace/trace.hh"
 
 namespace tsim
 {
@@ -159,6 +160,13 @@ class DramCacheCtrl : public SimObject
 
     /** Print controller/channel live state (deadlock debugging). */
     void dumpDebug(std::FILE *f) const;
+
+    /**
+     * Optional event-trace sink for controller-level demand events
+     * (DESIGN.md §10); null disables. Channel-level command events go
+     * to the per-channel DramChannel::traceBuf instead.
+     */
+    TraceBuffer *traceBuf = nullptr;
 
     DramChannel &channel(unsigned i) { return *_chans[i]; }
     const DramChannel &channel(unsigned i) const { return *_chans[i]; }

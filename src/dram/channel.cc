@@ -681,6 +681,12 @@ DramChannel::issueConventional(ChanReq &req, bool is_write)
     const unsigned bytes =
         static_cast<unsigned>(lineBytes * _t.burstScale + 0.5);
     BankState &b = _banks[req.coord.bank];
+#if TDRAM_TRACE
+    // Row-hit status must be read before the bank state mutates below.
+    const bool was_row_hit = traceBuf &&
+                             _cfg.pagePolicy == PagePolicy::Open &&
+                             rowHit(req);
+#endif
 
     _caFreeAt = now + _t.clkPeriod;
 
@@ -737,6 +743,10 @@ DramChannel::issueConventional(ChanReq &req, bool is_write)
     dqBusyTicks += static_cast<double>(_t.dataBurst());
 
     const Tick done = data_start + _t.dataBurst();
+    TSIM_TRACE_EVENT(traceBuf,
+                     is_write ? TraceKind::Write : TraceKind::Read, now,
+                     req.addr, static_cast<std::uint16_t>(req.coord.bank),
+                     done - now, was_row_hit ? 1u : 0u);
     if (req.onDataDone) {
         _eq.schedule(done, [cb = std::move(req.onDataDone),
                             done]() mutable { cb(done); });
@@ -782,6 +792,16 @@ DramChannel::issueActRd(ChanReq &req, bool probe_pending)
         _hmFreeAt = hm_tick + hmOccupancy;
     }
 
+    TSIM_TRACE_EVENT(traceBuf, TraceKind::ActRd, now, req.addr,
+                     static_cast<std::uint16_t>(req.coord.bank),
+                     data_done - now,
+                     packTagBits(tr.hit, tr.valid, tr.dirty, false) |
+                         (transfer ? 16u : 0u));
+    TSIM_TRACE_EVENT(traceBuf, TraceKind::HmResult, hm_tick, req.addr,
+                     static_cast<std::uint16_t>(req.coord.bank),
+                     hm_tick - now,
+                     packTagBits(tr.hit, tr.valid, tr.dirty, false));
+
     if (transfer) {
         bytesToCtrl += bytes;
         dqBusyTicks += static_cast<double>(_t.dataBurst());
@@ -800,6 +820,11 @@ DramChannel::issueActRd(ChanReq &req, bool probe_pending)
             ++_flush.drainedOnMissClean;
             bytesToCtrl += lineBytes;
             dqBusyTicks += static_cast<double>(_t.dataBurst());
+            TSIM_TRACE_EVENT(
+                traceBuf, TraceKind::FlushDrain, data_done, victim,
+                static_cast<std::uint16_t>(_map.decode(victim).bank),
+                _flush.size(),
+                static_cast<std::uint32_t>(DrainCause::MissClean));
             _eq.schedule(data_done, [this, victim, data_done] {
                 _flush.completeDrain();
                 if (onFlushArrive)
@@ -871,6 +896,15 @@ DramChannel::issueActWr(ChanReq &req)
         _hmFreeAt = hm_tick + hmOccupancy;
     }
 
+    TSIM_TRACE_EVENT(traceBuf, TraceKind::ActWr, now, req.addr,
+                     static_cast<std::uint16_t>(req.coord.bank),
+                     data_done - now,
+                     packTagBits(tr.hit, tr.valid, tr.dirty, false));
+    TSIM_TRACE_EVENT(traceBuf, TraceKind::HmResult, hm_tick, req.addr,
+                     static_cast<std::uint16_t>(req.coord.bank),
+                     hm_tick - now,
+                     packTagBits(tr.hit, tr.valid, tr.dirty, false));
+
     if (miss_dirty && _cfg.hasFlushBuffer) {
         // The victim lands in the flush buffer once the internal read
         // completes. If the buffer is full this is a TDRAM stall: the
@@ -897,6 +931,11 @@ void
 DramChannel::flushPushRetry(Addr victim)
 {
     if (_flush.push(victim)) {
+        TSIM_TRACE_EVENT(traceBuf, TraceKind::FlushPush, curTick(),
+                         victim,
+                         static_cast<std::uint16_t>(
+                             _map.decode(victim).bank),
+                         _flush.size(), 0);
         kick();
         return;
     }
@@ -925,6 +964,11 @@ DramChannel::forceDrain()
         bytesToCtrl += lineBytes;
         dqBusyTicks += static_cast<double>(_t.tBURST);
         const Tick done = start + _t.tBURST;
+        TSIM_TRACE_EVENT(traceBuf, TraceKind::FlushDrain, done, victim,
+                         static_cast<std::uint16_t>(
+                             _map.decode(victim).bank),
+                         _flush.size(),
+                         static_cast<std::uint32_t>(DrainCause::Forced));
         _eq.schedule(done, [this, victim, done] {
             _flush.completeDrain();
             if (onFlushArrive)
@@ -978,6 +1022,15 @@ DramChannel::tryProbe()
         tr.viaProbe = true;
         const Tick hm_tick = now + hm_lat;
         _hmFreeAt = hm_tick + hmOccupancy;
+        TSIM_TRACE_EVENT(traceBuf, TraceKind::Probe, now, n.req.addr,
+                         static_cast<std::uint16_t>(n.req.coord.bank),
+                         hm_lat,
+                         packTagBits(tr.hit, tr.valid, tr.dirty, true));
+        TSIM_TRACE_EVENT(traceBuf, TraceKind::HmResult, hm_tick,
+                         n.req.addr,
+                         static_cast<std::uint16_t>(n.req.coord.bank),
+                         hm_lat,
+                         packTagBits(tr.hit, tr.valid, tr.dirty, true));
         const std::uint64_t id = n.req.id;
         _eq.schedule(hm_tick, [this, id, tr, hm_tick] {
             deliverProbe(id, hm_tick, tr);
@@ -1018,6 +1071,8 @@ DramChannel::startRefresh()
     const Tick now = curTick();
     ++refreshes;
     _refreshUntil = now + _t.tRFC;
+    TSIM_TRACE_EVENT(traceBuf, TraceKind::Refresh, now, 0, traceBankNone,
+                     _t.tRFC, 0);
     for (auto &b : _banks) {
         b.nextAct = std::max(b.nextAct, _refreshUntil);
         // Tag mats refresh in parallel with data mats (§III-C2).
@@ -1042,6 +1097,11 @@ DramChannel::startRefresh()
             bytesToCtrl += lineBytes;
             dqBusyTicks += static_cast<double>(_t.tBURST);
             const Tick done = start + _t.tBURST;
+            TSIM_TRACE_EVENT(
+                traceBuf, TraceKind::FlushDrain, done, victim,
+                static_cast<std::uint16_t>(_map.decode(victim).bank),
+                _flush.size(),
+                static_cast<std::uint32_t>(DrainCause::Refresh));
             _eq.schedule(done, [this, victim, done] {
                 _flush.completeDrain();
                 if (onFlushArrive)

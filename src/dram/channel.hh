@@ -54,6 +54,7 @@
 #include "stats/stats.hh"
 #include "tdram/flush_buffer.hh"
 #include "tdram/tag_array.hh"
+#include "trace/trace.hh"
 
 namespace tsim
 {
@@ -191,6 +192,13 @@ class DramChannel : public SimObject
 
     /** Victim line from the flush buffer arrived at the controller. */
     std::function<void(Addr, Tick)> onFlushArrive;
+
+    /**
+     * Optional cycle-level event-trace sink (DESIGN.md §10); null
+     * disables tracing for this channel. Emission sites are gated by
+     * TSIM_TRACE_EVENT, so TDRAM_TRACE=0 builds compile them out.
+     */
+    TraceBuffer *traceBuf = nullptr;
 
     const ChannelConfig &config() const { return _cfg; }
 

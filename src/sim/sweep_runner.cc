@@ -1,6 +1,7 @@
 #include "sim/sweep_runner.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <deque>
 #include <exception>
 #include <mutex>
@@ -42,6 +43,20 @@ struct WorkerQueue
 };
 
 } // namespace
+
+void
+applyTracePrefix(std::vector<SweepJob> &jobs, const std::string &prefix)
+{
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (prefix.empty()) {
+            jobs[i].cfg.tracePath.clear();
+            continue;
+        }
+        char suffix[32];
+        std::snprintf(suffix, sizeof(suffix), "_job%03zu.tdt", i);
+        jobs[i].cfg.tracePath = prefix + suffix;
+    }
+}
 
 SweepRunner::SweepRunner(unsigned jobs) : _jobs(jobs)
 {

@@ -32,6 +32,16 @@ struct SweepJob
 };
 
 /**
+ * Give every job a distinct trace path `<prefix>_jobNNN.tdt` so a
+ * parallel sweep never has two Systems writing one file. Job order is
+ * the naming key, so serial and `--jobs N` sweeps of the same job
+ * list produce identical file sets (CI diffs them byte-for-byte).
+ * Empty @p prefix clears every tracePath.
+ */
+void applyTracePrefix(std::vector<SweepJob> &jobs,
+                      const std::string &prefix);
+
+/**
  * Work-stealing pool for independent simulation runs.
  *
  * Jobs are dealt round-robin onto per-worker deques; each worker

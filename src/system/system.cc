@@ -54,6 +54,19 @@ System::System(const SystemConfig &cfg, const WorkloadProfile &workload)
     }
     _engine = std::make_unique<CoreEngine>(
         _eq, "engine", cfg.cores, std::move(gens), *_dcache, cfg.seed);
+
+    if (!cfg.tracePath.empty() && traceCompiledIn()) {
+        // Buffer layout: dcache channels, then mm channels, then one
+        // controller-level buffer for demand start/done events.
+        const unsigned dc = _dcache->numChannels();
+        const unsigned mm = _mm->numChannels();
+        _tracer = std::make_unique<Tracer>(cfg.tracePath, dc + mm + 1);
+        for (unsigned c = 0; c < dc; ++c)
+            _dcache->channel(c).traceBuf = &_tracer->buffer(c);
+        for (unsigned c = 0; c < mm; ++c)
+            _mm->channel(c).traceBuf = &_tracer->buffer(dc + c);
+        _dcache->traceBuf = &_tracer->buffer(dc + mm);
+    }
 }
 
 SimReport
@@ -141,6 +154,8 @@ System::run()
         r.hostPerf.chanKicks += _mm->channel(c).hostKicks;
         r.hostPerf.chanScans += _mm->channel(c).hostScanSteps;
     }
+    if (_tracer)
+        _tracer->flushAll();
     return r;
 }
 

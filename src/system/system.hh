@@ -46,6 +46,12 @@ struct SystemConfig
     std::uint64_t warmupOpsPerCore = 200000;
     std::uint64_t seed = 1;
 
+    /**
+     * Event-trace output (.tdt); empty disables tracing. Per-run
+     * paths keep parallel sweeps from clobbering each other's files.
+     */
+    std::string tracePath;
+
     /** Simulated-time safety net; a run past this is a bug. */
     Tick maxRuntime = nsToTicks(2.0e9);
 };
@@ -107,6 +113,7 @@ class System
     MainMemory &mainMemory() { return *_mm; }
     CoreEngine &engine() { return *_engine; }
     const SystemConfig &config() const { return _cfg; }
+    Tracer *tracer() { return _tracer.get(); }
 
     /** Dump all registered stats (debugging / examples). */
     void dumpStats(std::ostream &os) const;
@@ -118,6 +125,7 @@ class System
     std::unique_ptr<MainMemory> _mm;
     std::unique_ptr<DramCacheCtrl> _dcache;
     std::unique_ptr<CoreEngine> _engine;
+    std::unique_ptr<Tracer> _tracer;
 };
 
 /** Convenience: build + run one configuration. */

@@ -1,0 +1,217 @@
+#include "trace/trace_analysis.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+namespace tsim
+{
+
+namespace
+{
+
+bool
+sameRecord(const TraceRecord &a, const TraceRecord &b)
+{
+    return std::memcmp(&a, &b, sizeof(TraceRecord)) == 0;
+}
+
+/** True for kinds whose aux field is a duration in ticks. */
+bool
+hasDuration(std::uint8_t kind)
+{
+    switch (static_cast<TraceKind>(kind)) {
+      case TraceKind::Read:
+      case TraceKind::Write:
+      case TraceKind::ActRd:
+      case TraceKind::ActWr:
+      case TraceKind::Refresh:
+      case TraceKind::DemandDone:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+TraceSummary
+summarizeTrace(const TraceFile &t)
+{
+    TraceSummary s;
+    s.records = t.records.size();
+    double hm_lat_sum = 0;
+    std::uint64_t depth = 0;
+    if (!t.records.empty())
+        s.firstTick = t.records.front().tick;
+    for (const TraceRecord &r : t.records) {
+        s.lastTick = std::max(s.lastTick, r.tick);
+        if (r.kind < static_cast<std::uint8_t>(TraceKind::NumKinds))
+            ++s.perKind[r.kind];
+        switch (static_cast<TraceKind>(r.kind)) {
+          case TraceKind::Read:
+          case TraceKind::Write:
+          case TraceKind::ActRd:
+          case TraceKind::ActWr:
+            ++s.perBank[{r.channel, r.bank}];
+            break;
+          case TraceKind::HmResult:
+            ++s.hmResponses;
+            hm_lat_sum += ticksToNs(r.aux);
+            break;
+          case TraceKind::FlushPush:
+            ++s.flushPushes;
+            depth = r.aux;
+            s.flushMaxDepth = std::max(s.flushMaxDepth, depth);
+            break;
+          case TraceKind::FlushDrain:
+            ++s.flushDrains;
+            depth = r.aux;
+            break;
+          default:
+            break;
+        }
+    }
+    if (s.hmResponses)
+        s.hmMeanLatencyNs = hm_lat_sum / static_cast<double>(s.hmResponses);
+    return s;
+}
+
+void
+printTraceSummary(std::ostream &os, const TraceSummary &s,
+                  const TraceFile &t, bool depth_series)
+{
+    os << "records        " << s.records << "\n";
+    os << "span           " << ticksToNs(s.firstTick) << " .. "
+       << ticksToNs(s.lastTick) << " ns\n";
+    os << "per kind:\n";
+    for (unsigned k = 0;
+         k < static_cast<unsigned>(TraceKind::NumKinds); ++k) {
+        if (s.perKind[k])
+            os << "  " << traceKindName(static_cast<std::uint8_t>(k))
+               << " " << s.perKind[k] << "\n";
+    }
+
+    if (!s.perBank.empty()) {
+        // Per-bank utilization: command share of each bank within its
+        // channel, the per-command evidence behind Fig 1/Table IV.
+        std::uint64_t total = 0;
+        for (const auto &[cb, n] : s.perBank)
+            total += n;
+        os << "per-bank command utilization (" << total
+           << " column commands):\n";
+        for (const auto &[cb, n] : s.perBank) {
+            os << "  ch" << cb.first << " bank" << cb.second << "  "
+               << n << "  ("
+               << 100.0 * static_cast<double>(n) /
+                      static_cast<double>(total)
+               << "%)\n";
+        }
+    }
+
+    if (s.hmResponses) {
+        os << "hm bus: " << s.hmResponses
+           << " responses, mean latency " << s.hmMeanLatencyNs
+           << " ns\n";
+    }
+    if (s.flushPushes || s.flushDrains) {
+        os << "flush buffer: " << s.flushPushes << " pushes, "
+           << s.flushDrains << " drains, max depth "
+           << s.flushMaxDepth << "\n";
+    }
+
+    if (depth_series) {
+        os << "flush-buffer depth time series (tick_ns depth):\n";
+        for (const TraceRecord &r : t.records) {
+            const auto k = static_cast<TraceKind>(r.kind);
+            if (k == TraceKind::FlushPush || k == TraceKind::FlushDrain)
+                os << "  " << ticksToNs(r.tick) << " " << r.aux << "\n";
+        }
+    }
+}
+
+TraceDiff
+diffTraces(const TraceFile &a, const TraceFile &b)
+{
+    TraceDiff d;
+    const std::uint64_t n =
+        std::min(a.records.size(), b.records.size());
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (sameRecord(a.records[i], b.records[i]))
+            continue;
+        d.firstDivergence = i;
+        std::ostringstream os;
+        os << "first divergence at record " << i << " of "
+           << a.records.size() << "/" << b.records.size() << ":\n";
+        const std::uint64_t ctx = i >= 3 ? i - 3 : 0;
+        for (std::uint64_t j = ctx; j < i; ++j)
+            os << "  = " << formatTraceRecord(a.records[j]) << "\n";
+        os << "  A " << formatTraceRecord(a.records[i]) << "\n";
+        os << "  B " << formatTraceRecord(b.records[i]) << "\n";
+        d.message = os.str();
+        return d;
+    }
+    if (a.records.size() != b.records.size()) {
+        d.firstDivergence = n;
+        std::ostringstream os;
+        os << "record counts differ: " << a.records.size() << " vs "
+           << b.records.size() << "; first extra record:\n";
+        const TraceFile &longer =
+            a.records.size() > b.records.size() ? a : b;
+        os << "  " << (a.records.size() > b.records.size() ? "A " : "B ")
+           << formatTraceRecord(longer.records[n]) << "\n";
+        d.message = os.str();
+        return d;
+    }
+    d.identical = true;
+    d.message = "traces identical (" + std::to_string(n) + " records)";
+    return d;
+}
+
+void
+exportChromeTrace(std::ostream &os, const TraceFile &t)
+{
+    // Chrome trace-event JSON array format; ts/dur are microseconds
+    // (ticks are picoseconds). pid = channel, tid = bank, so the
+    // timeline shows one swimlane per (channel, bank) — the layout of
+    // the paper's Fig 5-7 timing diagrams.
+    os << "[\n";
+    bool first = true;
+    for (const TraceRecord &r : t.records) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        const double ts = static_cast<double>(r.tick) / 1e6;
+        const unsigned tid =
+            r.bank == traceBankNone ? 0xffffu : r.bank;
+        char buf[256];
+        if (hasDuration(r.kind)) {
+            const double dur = static_cast<double>(r.aux) / 1e6;
+            std::snprintf(
+                buf, sizeof(buf),
+                "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.6f,"
+                "\"dur\":%.6f,\"pid\":%u,\"tid\":%u,"
+                "\"args\":{\"addr\":\"0x%llx\",\"extra\":%u,"
+                "\"seq\":%llu}}",
+                traceKindName(r.kind), ts, dur, r.channel, tid,
+                (unsigned long long)r.addr, r.extra,
+                (unsigned long long)r.seq);
+        } else {
+            std::snprintf(
+                buf, sizeof(buf),
+                "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+                "\"ts\":%.6f,\"pid\":%u,\"tid\":%u,"
+                "\"args\":{\"addr\":\"0x%llx\",\"aux\":%llu,"
+                "\"extra\":%u,\"seq\":%llu}}",
+                traceKindName(r.kind), ts, r.channel, tid,
+                (unsigned long long)r.addr,
+                (unsigned long long)r.aux, r.extra,
+                (unsigned long long)r.seq);
+        }
+        os << "  " << buf;
+    }
+    os << "\n]\n";
+}
+
+} // namespace tsim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Offline analysis over loaded .tdt traces: per-bank utilization and
+ * HM-bus/flush-buffer summaries, first-divergence diffing, and Chrome
+ * trace-event JSON export. Shared by tools/trace_tool and the tests,
+ * so CI failures and unit assertions exercise the same code.
+ */
+
+#ifndef TSIM_TRACE_TRACE_ANALYSIS_HH
+#define TSIM_TRACE_TRACE_ANALYSIS_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace tsim
+{
+
+/** Aggregates of one trace (see summarizeTrace). */
+struct TraceSummary
+{
+    std::uint64_t records = 0;
+    Tick firstTick = 0;
+    Tick lastTick = 0;
+
+    /** Event count per TraceKind. */
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(TraceKind::NumKinds)>
+        perKind{};
+
+    /** Commands issued per (channel, bank). */
+    std::map<std::pair<unsigned, unsigned>, std::uint64_t> perBank;
+
+    /** HM-bus responses and the busy time they imply. */
+    std::uint64_t hmResponses = 0;
+    double hmMeanLatencyNs = 0;
+
+    /** Flush-buffer depth statistics (from push/drain records). */
+    std::uint64_t flushPushes = 0;
+    std::uint64_t flushDrains = 0;
+    std::uint64_t flushMaxDepth = 0;
+};
+
+/** Aggregate @p t (records must be seq-sorted, as loadTrace returns). */
+TraceSummary summarizeTrace(const TraceFile &t);
+
+/**
+ * Print @p s human-readably: per-kind counts, a per-bank utilization
+ * table, HM occupancy, and (with @p depth_series) the flush-buffer
+ * depth time series reconstructed from push/drain events.
+ */
+void printTraceSummary(std::ostream &os, const TraceSummary &s,
+                       const TraceFile &t, bool depth_series);
+
+/** Outcome of diffTraces. */
+struct TraceDiff
+{
+    bool identical = false;
+    /** Index of the first divergent record (seq order); n/a if the
+     *  headers/counts already disagree. */
+    std::uint64_t firstDivergence = 0;
+    std::string message;  ///< human-readable verdict with context
+};
+
+/**
+ * Compare two loaded traces record by record in emission order.
+ * On divergence the message names the first differing record with
+ * tick and full decoded context from both sides, plus a few records
+ * of preceding common history.
+ */
+TraceDiff diffTraces(const TraceFile &a, const TraceFile &b);
+
+/**
+ * Write @p t as Chrome trace-event JSON (chrome://tracing, Perfetto).
+ * Command/demand records with a duration become complete ("X")
+ * events; instantaneous records (probes, HM results, flush activity,
+ * refresh) become instant ("i") events. One row per (channel, bank).
+ */
+void exportChromeTrace(std::ostream &os, const TraceFile &t);
+
+} // namespace tsim
+
+#endif // TSIM_TRACE_TRACE_ANALYSIS_HH

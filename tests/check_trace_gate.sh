@@ -1,0 +1,60 @@
+#!/bin/sh
+# Guard test for the TDRAM_TRACE compile-time gate (DESIGN.md §10).
+#
+# TSIM_TRACE_EVENT's fast path is inline, but a full ring calls the
+# out-of-line TraceBuffer::overflow(). A TDRAM_TRACE=1 compile of the
+# hottest emission site (dram/channel.cc) therefore references that
+# symbol; a TDRAM_TRACE=0 compile must not reference any TraceBuffer
+# symbol at all — proving the hook call sites compiled out entirely,
+# not just branched around.
+#
+# Usage: check_trace_gate.sh <repo-source-dir>
+# Exit codes: 0 pass, 1 fail, 77 skip (toolchain unavailable).
+
+set -u
+
+SRC_DIR=${1:-$(cd "$(dirname "$0")/.." && pwd)}
+CXX=${CXX:-c++}
+
+command -v "$CXX" >/dev/null 2>&1 || { echo "skip: no $CXX"; exit 77; }
+command -v nm >/dev/null 2>&1 || { echo "skip: no nm"; exit 77; }
+
+TMP=$(mktemp -d) || exit 77
+trap 'rm -rf "$TMP"' EXIT
+
+FLAGS="-std=c++20 -O2 -I $SRC_DIR/src -c $SRC_DIR/src/dram/channel.cc"
+
+if ! "$CXX" $FLAGS -DTDRAM_TRACE=1 -o "$TMP/on.o"; then
+    echo "FAIL: TDRAM_TRACE=1 compile of channel.cc failed"
+    exit 1
+fi
+if ! "$CXX" $FLAGS -DTDRAM_TRACE=0 -o "$TMP/off.o"; then
+    echo "FAIL: TDRAM_TRACE=0 compile of channel.cc failed"
+    exit 1
+fi
+
+if ! nm -C "$TMP/on.o" | grep -q 'TraceBuffer::overflow'; then
+    echo "FAIL: TDRAM_TRACE=1 object lacks a TraceBuffer::overflow" \
+         "reference - the guard no longer proves anything"
+    exit 1
+fi
+
+if nm -C "$TMP/off.o" | grep -q 'TraceBuffer'; then
+    echo "FAIL: TDRAM_TRACE=0 object still references TraceBuffer -" \
+         "trace hooks were not compiled out"
+    nm -C "$TMP/off.o" | grep 'TraceBuffer'
+    exit 1
+fi
+
+# The gated-off object must also be no larger than the traced one.
+ON_SIZE=$(wc -c < "$TMP/on.o")
+OFF_SIZE=$(wc -c < "$TMP/off.o")
+if [ "$OFF_SIZE" -gt "$ON_SIZE" ]; then
+    echo "FAIL: TDRAM_TRACE=0 object ($OFF_SIZE B) is larger than" \
+         "TDRAM_TRACE=1 ($ON_SIZE B)"
+    exit 1
+fi
+
+echo "PASS: trace hooks gate correctly" \
+     "(on: $ON_SIZE B, off: $OFF_SIZE B)"
+exit 0

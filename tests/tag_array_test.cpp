@@ -158,8 +158,9 @@ TEST_P(TagArrayModelCheck, MatchesReferenceModel)
         TagResult r = t.peek(addr);
         ASSERT_EQ(r.hit, found != lines.end())
             << "iteration " << i << " addr " << std::hex << addr;
-        if (r.hit)
+        if (r.hit) {
             ASSERT_EQ(r.dirty, found->dirty);
+        }
 
         // Mirror a mixed workload: 1/3 install, 1/3 touch, 1/3 dirty.
         const auto action = rng.range(3);

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * trace_tool — offline CLI over .tdt event traces (DESIGN.md §10).
+ *
+ *   trace_tool summarize <trace.tdt> [--depth-series]
+ *       Per-kind counts, per-bank command utilization, HM-bus
+ *       occupancy, and flush-buffer statistics (--depth-series adds
+ *       the push/drain depth time series).
+ *   trace_tool diff <a.tdt> <b.tdt>
+ *       Byte-compare two traces in emission order. Exit 0 when
+ *       identical; exit 1 with the first divergent record (tick plus
+ *       full decoded context from both sides) otherwise. The CI
+ *       determinism gate runs this on serial-vs-parallel sweeps.
+ *   trace_tool export <trace.tdt> [out.json]
+ *       Chrome trace-event JSON (chrome://tracing, Perfetto), one
+ *       swimlane per (channel, bank). Default output: stdout.
+ *   trace_tool dump <trace.tdt> [--limit N]
+ *       Human-readable record listing (debugging).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "trace/trace.hh"
+#include "trace/trace_analysis.hh"
+
+namespace
+{
+
+using namespace tsim;
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: trace_tool <command> [args]\n"
+        "  summarize <trace.tdt> [--depth-series]\n"
+        "  diff <a.tdt> <b.tdt>\n"
+        "  export <trace.tdt> [out.json]\n"
+        "  dump <trace.tdt> [--limit N]\n");
+    std::exit(2);
+}
+
+/** Load or die with the loader's message (exit 2: usage/input error). */
+TraceFile
+loadOrDie(const std::string &path)
+{
+    TraceLoadResult res = loadTrace(path);
+    if (!res.ok) {
+        std::fprintf(stderr, "trace_tool: %s\n", res.error.c_str());
+        std::exit(2);
+    }
+    return std::move(res.trace);
+}
+
+int
+cmdSummarize(int argc, char **argv)
+{
+    if (argc < 3)
+        usage();
+    bool depth_series = false;
+    for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--depth-series") == 0)
+            depth_series = true;
+        else
+            usage();
+    }
+    const TraceFile t = loadOrDie(argv[2]);
+    printTraceSummary(std::cout, summarizeTrace(t), t, depth_series);
+    return 0;
+}
+
+int
+cmdDiff(int argc, char **argv)
+{
+    if (argc != 4)
+        usage();
+    const TraceFile a = loadOrDie(argv[2]);
+    const TraceFile b = loadOrDie(argv[3]);
+    const TraceDiff d = diffTraces(a, b);
+    std::printf("%s\n", d.message.c_str());
+    return d.identical ? 0 : 1;
+}
+
+int
+cmdExport(int argc, char **argv)
+{
+    if (argc < 3 || argc > 4)
+        usage();
+    const TraceFile t = loadOrDie(argv[2]);
+    if (argc == 4) {
+        std::ofstream out(argv[3]);
+        if (!out) {
+            std::fprintf(stderr, "trace_tool: cannot write '%s'\n",
+                         argv[3]);
+            return 2;
+        }
+        exportChromeTrace(out, t);
+    } else {
+        exportChromeTrace(std::cout, t);
+    }
+    return 0;
+}
+
+int
+cmdDump(int argc, char **argv)
+{
+    if (argc < 3)
+        usage();
+    std::uint64_t limit = ~std::uint64_t{0};
+    for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--limit") == 0 && i + 1 < argc)
+            limit = std::strtoull(argv[++i], nullptr, 10);
+        else
+            usage();
+    }
+    const TraceFile t = loadOrDie(argv[2]);
+    std::uint64_t n = 0;
+    for (const TraceRecord &r : t.records) {
+        if (n++ >= limit)
+            break;
+        std::printf("%s\n", formatTraceRecord(r).c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    const std::string cmd = argv[1];
+    if (cmd == "summarize")
+        return cmdSummarize(argc, argv);
+    if (cmd == "diff")
+        return cmdDiff(argc, argv);
+    if (cmd == "export")
+        return cmdExport(argc, argv);
+    if (cmd == "dump")
+        return cmdDump(argc, argv);
+    usage();
+}
