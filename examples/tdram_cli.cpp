@@ -44,6 +44,7 @@ struct CliOptions
     bool predictor = false;
     bool fullStats = false;
     bool csv = false;
+    bool check = false;  ///< inline protocol checker on every run
     std::string tracePath;  ///< .tdt output (run) / prefix (others)
 };
 
@@ -58,9 +59,11 @@ usage()
         "  sweep <workload> <design> <param> <v1,v2,...>\n"
         "options: --ops N --warmup N --seed N --capacity MiB\n"
         "         --ways W --no-probe --open-page --predictor\n"
-        "         --stats --csv --trace PATH\n"
+        "         --stats --csv --trace PATH --check\n"
         "  --trace writes a .tdt event trace (run: exactly PATH;\n"
-        "  compare/sweep: PATH is a prefix, one file per run)\n");
+        "  compare/sweep: PATH is a prefix, one file per run)\n"
+        "  --check audits every command with the inline protocol\n"
+        "  checker (exit 1 on any violation)\n");
     std::exit(1);
 }
 
@@ -99,6 +102,8 @@ parseOptions(int argc, char **argv, int first)
             if (i + 1 >= argc)
                 usage();
             o.tracePath = argv[++i];
+        } else if (a == "--check") {
+            o.check = true;
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
             usage();
@@ -140,6 +145,12 @@ makeConfig(const CliOptions &o, Design d)
     cfg.cores.opsPerCore = o.ops;
     cfg.warmupOpsPerCore = o.warmup;
     cfg.seed = o.seed;
+    cfg.checkProtocol = o.check;
+    if (o.check && !checkCompiledIn()) {
+        std::fprintf(stderr,
+                     "warning: --check requested but the protocol "
+                     "checker is compiled out (TDRAM_CHECK=0)\n");
+    }
     return cfg;
 }
 
@@ -230,7 +241,13 @@ cmdRun(int argc, char **argv)
         std::printf("\nfull statistics:\n");
         sys.dumpStats(std::cout);
     }
-    return 0;
+    if (o.check && !o.csv) {
+        std::printf("  check          %10llu events, %llu "
+                    "violation(s)\n",
+                    (unsigned long long)r.checkEvents,
+                    (unsigned long long)r.checkViolations);
+    }
+    return r.checkViolations ? 1 : 0;
 }
 
 int
@@ -250,11 +267,13 @@ cmdCompare(int argc, char **argv)
         std::printf("%-14s %11s %8s %9s %9s %7s %9s\n", "design",
                     "runtime_us", "missR", "tagChk", "rdLat", "bloat",
                     "energy_mJ");
+    std::uint64_t violations = 0;
     for (Design d : designs) {
         SystemConfig cfg = makeConfig(o, d);
         if (!o.tracePath.empty())
             cfg.tracePath = o.tracePath + "_" + designName(d) + ".tdt";
         const SimReport r = runOne(cfg, wl);
+        violations += r.checkViolations;
         if (o.csv) {
             printCsvRow(r);
         } else {
@@ -265,7 +284,7 @@ cmdCompare(int argc, char **argv)
                 r.energy.totalJ() * 1e3);
         }
     }
-    return 0;
+    return violations ? 1 : 0;
 }
 
 int
@@ -288,6 +307,7 @@ cmdSweep(int argc, char **argv)
 
     std::printf("param,value,");
     printCsvHeader();
+    std::uint64_t violations = 0;
     for (std::uint64_t v : values) {
         SystemConfig cfg = makeConfig(o, d);
         if (param == "capacity_mib") {
@@ -312,11 +332,12 @@ cmdSweep(int argc, char **argv)
                             std::to_string(v) + ".tdt";
         }
         const SimReport r = runOne(cfg, wl);
+        violations += r.checkViolations;
         std::printf("%s,%llu,", param.c_str(),
                     (unsigned long long)v);
         printCsvRow(r);
     }
-    return 0;
+    return violations ? 1 : 0;
 }
 
 } // namespace

@@ -91,6 +91,9 @@ DramCacheCtrl::access(MemPacket pkt, RespCallback cb)
     TSIM_TRACE_EVENT(traceBuf, TraceKind::DemandStart, pkt.created,
                      pkt.addr, traceBankNone, 0,
                      pkt.cmd == MemCmd::Write ? 1u : 0u);
+    TSIM_CHECK_EVENT(checker, checkChannel, TraceKind::DemandStart,
+                     pkt.created, pkt.addr, traceBankNone, 0,
+                     pkt.cmd == MemCmd::Write ? 1u : 0u);
 
     auto txn = std::make_shared<Txn>();
     txn->pkt = pkt;
@@ -248,6 +251,10 @@ DramCacheCtrl::respond(const TxnPtr &txn, Tick when)
     txn->finished = true;
     txn->pkt.completed = when;
     TSIM_TRACE_EVENT(traceBuf, TraceKind::DemandDone, when,
+                     txn->pkt.addr, traceBankNone,
+                     when - txn->pkt.created,
+                     static_cast<std::uint32_t>(txn->pkt.outcome));
+    TSIM_CHECK_EVENT(checker, checkChannel, TraceKind::DemandDone, when,
                      txn->pkt.addr, traceBankNone,
                      when - txn->pkt.created,
                      static_cast<std::uint32_t>(txn->pkt.outcome));

@@ -168,6 +168,14 @@ class DramCacheCtrl : public SimObject
      */
     TraceBuffer *traceBuf = nullptr;
 
+    /**
+     * Optional inline protocol checker for the demand-pairing rules
+     * (DESIGN.md §11); null disables. Channel-level command events go
+     * to the per-channel DramChannel::checker instead.
+     */
+    ProtocolChecker *checker = nullptr;
+    unsigned checkChannel = 0;
+
     DramChannel &channel(unsigned i) { return *_chans[i]; }
     const DramChannel &channel(unsigned i) const { return *_chans[i]; }
     unsigned numChannels() const

@@ -16,12 +16,6 @@ namespace tsim
 namespace
 {
 
-/**
- * HM-bus occupancy of one tag/metadata packet: 3 B over the 4-bit bus
- * at the full data rate (6 beats, paper §III-B).
- */
-constexpr Tick hmOccupancy = nsToTicks(0.75);
-
 /** Subtract with clamping at zero (timing offsets on unsigned ticks). */
 constexpr Tick
 subClamp(Tick a, Tick b)
@@ -30,6 +24,23 @@ subClamp(Tick a, Tick b)
 }
 
 } // namespace
+
+CheckerConfig
+checkerConfigOf(const ChannelConfig &cfg)
+{
+    CheckerConfig c;
+    c.timing = cfg.timing;
+    c.banks = cfg.banks;
+    c.openPage = cfg.pagePolicy == PagePolicy::Open;
+    c.inDramTags = cfg.inDramTags;
+    c.hmAtColumn = cfg.hmAtColumn;
+    c.conditionalColumn = cfg.conditionalColumn;
+    c.enableProbe = cfg.enableProbe;
+    c.hasFlushBuffer = cfg.hasFlushBuffer;
+    c.flushEntries = cfg.flushEntries;
+    c.opportunisticDrain = cfg.opportunisticDrain;
+    return c;
+}
 
 DramChannel::DramChannel(EventQueue &eq, std::string name,
                          ChannelConfig cfg, AddressMap map)
@@ -681,9 +692,9 @@ DramChannel::issueConventional(ChanReq &req, bool is_write)
     const unsigned bytes =
         static_cast<unsigned>(lineBytes * _t.burstScale + 0.5);
     BankState &b = _banks[req.coord.bank];
-#if TDRAM_TRACE
+#if TDRAM_TRACE || TDRAM_CHECK
     // Row-hit status must be read before the bank state mutates below.
-    const bool was_row_hit = traceBuf &&
+    const bool was_row_hit = (traceBuf || checker) &&
                              _cfg.pagePolicy == PagePolicy::Open &&
                              rowHit(req);
 #endif
@@ -747,6 +758,10 @@ DramChannel::issueConventional(ChanReq &req, bool is_write)
                      is_write ? TraceKind::Write : TraceKind::Read, now,
                      req.addr, static_cast<std::uint16_t>(req.coord.bank),
                      done - now, was_row_hit ? 1u : 0u);
+    TSIM_CHECK_EVENT(checker, checkChannel,
+                     is_write ? TraceKind::Write : TraceKind::Read, now,
+                     req.addr, static_cast<std::uint16_t>(req.coord.bank),
+                     done - now, was_row_hit ? 1u : 0u);
     if (req.onDataDone) {
         _eq.schedule(done, [cb = std::move(req.onDataDone),
                             done]() mutable { cb(done); });
@@ -789,7 +804,7 @@ DramChannel::issueActRd(ChanReq &req, bool probe_pending)
         hm_tick = data_done;
     } else {
         hm_tick = now + _t.hmLatency();
-        _hmFreeAt = hm_tick + hmOccupancy;
+        _hmFreeAt = hm_tick + hmBusOccupancy;
     }
 
     TSIM_TRACE_EVENT(traceBuf, TraceKind::ActRd, now, req.addr,
@@ -797,7 +812,18 @@ DramChannel::issueActRd(ChanReq &req, bool probe_pending)
                      data_done - now,
                      packTagBits(tr.hit, tr.valid, tr.dirty, false) |
                          (transfer ? 16u : 0u));
+    TSIM_CHECK_EVENT(checker, checkChannel, TraceKind::ActRd, now,
+                     req.addr,
+                     static_cast<std::uint16_t>(req.coord.bank),
+                     data_done - now,
+                     packTagBits(tr.hit, tr.valid, tr.dirty, false) |
+                         (transfer ? 16u : 0u));
     TSIM_TRACE_EVENT(traceBuf, TraceKind::HmResult, hm_tick, req.addr,
+                     static_cast<std::uint16_t>(req.coord.bank),
+                     hm_tick - now,
+                     packTagBits(tr.hit, tr.valid, tr.dirty, false));
+    TSIM_CHECK_EVENT(checker, checkChannel, TraceKind::HmResult,
+                     hm_tick, req.addr,
                      static_cast<std::uint16_t>(req.coord.bank),
                      hm_tick - now,
                      packTagBits(tr.hit, tr.valid, tr.dirty, false));
@@ -822,6 +848,12 @@ DramChannel::issueActRd(ChanReq &req, bool probe_pending)
             dqBusyTicks += static_cast<double>(_t.dataBurst());
             TSIM_TRACE_EVENT(
                 traceBuf, TraceKind::FlushDrain, data_done, victim,
+                static_cast<std::uint16_t>(_map.decode(victim).bank),
+                _flush.size(),
+                static_cast<std::uint32_t>(DrainCause::MissClean));
+            TSIM_CHECK_EVENT(
+                checker, checkChannel, TraceKind::FlushDrain, data_done,
+                victim,
                 static_cast<std::uint16_t>(_map.decode(victim).bank),
                 _flush.size(),
                 static_cast<std::uint32_t>(DrainCause::MissClean));
@@ -893,14 +925,24 @@ DramChannel::issueActWr(ChanReq &req)
         hm_tick = data_done;
     } else {
         hm_tick = now + _t.hmLatency();
-        _hmFreeAt = hm_tick + hmOccupancy;
+        _hmFreeAt = hm_tick + hmBusOccupancy;
     }
 
     TSIM_TRACE_EVENT(traceBuf, TraceKind::ActWr, now, req.addr,
                      static_cast<std::uint16_t>(req.coord.bank),
                      data_done - now,
                      packTagBits(tr.hit, tr.valid, tr.dirty, false));
+    TSIM_CHECK_EVENT(checker, checkChannel, TraceKind::ActWr, now,
+                     req.addr,
+                     static_cast<std::uint16_t>(req.coord.bank),
+                     data_done - now,
+                     packTagBits(tr.hit, tr.valid, tr.dirty, false));
     TSIM_TRACE_EVENT(traceBuf, TraceKind::HmResult, hm_tick, req.addr,
+                     static_cast<std::uint16_t>(req.coord.bank),
+                     hm_tick - now,
+                     packTagBits(tr.hit, tr.valid, tr.dirty, false));
+    TSIM_CHECK_EVENT(checker, checkChannel, TraceKind::HmResult,
+                     hm_tick, req.addr,
                      static_cast<std::uint16_t>(req.coord.bank),
                      hm_tick - now,
                      packTagBits(tr.hit, tr.valid, tr.dirty, false));
@@ -936,6 +978,11 @@ DramChannel::flushPushRetry(Addr victim)
                          static_cast<std::uint16_t>(
                              _map.decode(victim).bank),
                          _flush.size(), 0);
+        TSIM_CHECK_EVENT(checker, checkChannel, TraceKind::FlushPush,
+                         curTick(), victim,
+                         static_cast<std::uint16_t>(
+                             _map.decode(victim).bank),
+                         _flush.size(), 0);
         kick();
         return;
     }
@@ -965,6 +1012,12 @@ DramChannel::forceDrain()
         dqBusyTicks += static_cast<double>(_t.tBURST);
         const Tick done = start + _t.tBURST;
         TSIM_TRACE_EVENT(traceBuf, TraceKind::FlushDrain, done, victim,
+                         static_cast<std::uint16_t>(
+                             _map.decode(victim).bank),
+                         _flush.size(),
+                         static_cast<std::uint32_t>(DrainCause::Forced));
+        TSIM_CHECK_EVENT(checker, checkChannel, TraceKind::FlushDrain,
+                         done, victim,
                          static_cast<std::uint16_t>(
                              _map.decode(victim).bank),
                          _flush.size(),
@@ -1021,13 +1074,23 @@ DramChannel::tryProbe()
         TagResult tr = peekTags(n.req.addr);
         tr.viaProbe = true;
         const Tick hm_tick = now + hm_lat;
-        _hmFreeAt = hm_tick + hmOccupancy;
+        _hmFreeAt = hm_tick + hmBusOccupancy;
         TSIM_TRACE_EVENT(traceBuf, TraceKind::Probe, now, n.req.addr,
+                         static_cast<std::uint16_t>(n.req.coord.bank),
+                         hm_lat,
+                         packTagBits(tr.hit, tr.valid, tr.dirty, true));
+        TSIM_CHECK_EVENT(checker, checkChannel, TraceKind::Probe, now,
+                         n.req.addr,
                          static_cast<std::uint16_t>(n.req.coord.bank),
                          hm_lat,
                          packTagBits(tr.hit, tr.valid, tr.dirty, true));
         TSIM_TRACE_EVENT(traceBuf, TraceKind::HmResult, hm_tick,
                          n.req.addr,
+                         static_cast<std::uint16_t>(n.req.coord.bank),
+                         hm_lat,
+                         packTagBits(tr.hit, tr.valid, tr.dirty, true));
+        TSIM_CHECK_EVENT(checker, checkChannel, TraceKind::HmResult,
+                         hm_tick, n.req.addr,
                          static_cast<std::uint16_t>(n.req.coord.bank),
                          hm_lat,
                          packTagBits(tr.hit, tr.valid, tr.dirty, true));
@@ -1073,6 +1136,8 @@ DramChannel::startRefresh()
     _refreshUntil = now + _t.tRFC;
     TSIM_TRACE_EVENT(traceBuf, TraceKind::Refresh, now, 0, traceBankNone,
                      _t.tRFC, 0);
+    TSIM_CHECK_EVENT(checker, checkChannel, TraceKind::Refresh, now, 0,
+                     traceBankNone, _t.tRFC, 0);
     for (auto &b : _banks) {
         b.nextAct = std::max(b.nextAct, _refreshUntil);
         // Tag mats refresh in parallel with data mats (§III-C2).
@@ -1099,6 +1164,12 @@ DramChannel::startRefresh()
             const Tick done = start + _t.tBURST;
             TSIM_TRACE_EVENT(
                 traceBuf, TraceKind::FlushDrain, done, victim,
+                static_cast<std::uint16_t>(_map.decode(victim).bank),
+                _flush.size(),
+                static_cast<std::uint32_t>(DrainCause::Refresh));
+            TSIM_CHECK_EVENT(
+                checker, checkChannel, TraceKind::FlushDrain, done,
+                victim,
                 static_cast<std::uint16_t>(_map.decode(victim).bank),
                 _flush.size(),
                 static_cast<std::uint32_t>(DrainCause::Refresh));

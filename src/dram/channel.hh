@@ -46,6 +46,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "check/check.hh"
 #include "dram/timing.hh"
 #include "mem/address_map.hh"
 #include "mem/types.hh"
@@ -142,6 +143,13 @@ struct ChannelConfig
     bool refreshEnabled = true;
 };
 
+/**
+ * Protocol-relevant subset of @p cfg as a checker channel config
+ * (src/check). Shared by the inline wiring (System) and the offline
+ * device presets so both modes audit against identical rules.
+ */
+CheckerConfig checkerConfigOf(const ChannelConfig &cfg);
+
 /** One DRAM channel plus its controller back-end. */
 class DramChannel : public SimObject
 {
@@ -199,6 +207,16 @@ class DramChannel : public SimObject
      * TSIM_TRACE_EVENT, so TDRAM_TRACE=0 builds compile them out.
      */
     TraceBuffer *traceBuf = nullptr;
+
+    /**
+     * Optional inline protocol checker (DESIGN.md §11); null disables
+     * checking for this channel. Hook sites sit beside the trace
+     * hooks and are gated by TSIM_CHECK_EVENT, so TDRAM_CHECK=0
+     * builds compile them out. `checkChannel` is this channel's id in
+     * the checker (assigned by ProtocolChecker::addChannel).
+     */
+    ProtocolChecker *checker = nullptr;
+    unsigned checkChannel = 0;
 
     const ChannelConfig &config() const { return _cfg; }
 

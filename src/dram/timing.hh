@@ -16,6 +16,13 @@
 namespace tsim
 {
 
+/**
+ * HM-bus slot width: the dedicated hit/miss bus delivers at most one
+ * response per 0.75 ns (paper §IV-B). Shared by the channel model
+ * (slot arbitration) and the protocol checker (slot exclusivity).
+ */
+constexpr Tick hmBusOccupancy = nsToTicks(0.75);
+
 /** Timing parameters for one DRAM device/channel. */
 struct TimingParams
 {

@@ -67,6 +67,31 @@ System::System(const SystemConfig &cfg, const WorkloadProfile &workload)
             _mm->channel(c).traceBuf = &_tracer->buffer(dc + c);
         _dcache->traceBuf = &_tracer->buffer(dc + mm);
     }
+
+    if (cfg.checkProtocol && checkCompiledIn()) {
+        // Checker channel ids mirror the tracer buffer layout: dcache
+        // channels, then mm channels, then the demand-only buffer, so
+        // inline and offline audits of one run agree index-for-index.
+        const unsigned dc = _dcache->numChannels();
+        const unsigned mm = _mm->numChannels();
+        _checker = std::make_unique<ProtocolChecker>();
+        for (unsigned c = 0; c < dc; ++c) {
+            DramChannel &chan = _dcache->channel(c);
+            chan.checker = _checker.get();
+            chan.checkChannel =
+                _checker->addChannel(checkerConfigOf(chan.config()));
+        }
+        for (unsigned c = 0; c < mm; ++c) {
+            DramChannel &chan = _mm->channel(c);
+            chan.checker = _checker.get();
+            chan.checkChannel =
+                _checker->addChannel(checkerConfigOf(chan.config()));
+        }
+        CheckerConfig demand_cfg;
+        demand_cfg.demandOnly = true;
+        _dcache->checker = _checker.get();
+        _dcache->checkChannel = _checker->addChannel(demand_cfg);
+    }
 }
 
 SimReport
@@ -156,6 +181,26 @@ System::run()
     }
     if (_tracer)
         _tracer->flushAll();
+    if (_checker) {
+        _checker->finish();
+        r.checkEvents = _checker->eventsChecked();
+        r.checkViolations = _checker->violationCount();
+        if (!_checker->ok()) {
+            std::fprintf(stderr,
+                         "[check] %s/%s: %llu protocol violation(s) "
+                         "in %llu events\n",
+                         r.design.c_str(), r.workload.c_str(),
+                         static_cast<unsigned long long>(
+                             r.checkViolations),
+                         static_cast<unsigned long long>(
+                             r.checkEvents));
+            for (const CheckViolation &v : _checker->violations()) {
+                std::fprintf(
+                    stderr, "[check]   %s\n",
+                    ProtocolChecker::formatViolation(v).c_str());
+            }
+        }
+    }
     return r;
 }
 

@@ -52,6 +52,12 @@ struct SystemConfig
      */
     std::string tracePath;
 
+    /**
+     * Run the inline protocol checker (src/check) on every channel
+     * plus the demand front-end. No-op in -DTDRAM_CHECK=0 builds.
+     */
+    bool checkProtocol = false;
+
     /** Simulated-time safety net; a run past this is a bug. */
     Tick maxRuntime = nsToTicks(2.0e9);
 };
@@ -96,6 +102,13 @@ struct SimReport
      */
     HostPerf hostPerf{};
 
+    /**
+     * Inline protocol-checker results (checkProtocol runs only).
+     * checkEvents is 0 when the checker was off or compiled out.
+     */
+    std::uint64_t checkEvents = 0;
+    std::uint64_t checkViolations = 0;
+
     double runtimeNs() const { return ticksToNs(runtimeTicks); }
 };
 
@@ -114,6 +127,7 @@ class System
     CoreEngine &engine() { return *_engine; }
     const SystemConfig &config() const { return _cfg; }
     Tracer *tracer() { return _tracer.get(); }
+    ProtocolChecker *checker() { return _checker.get(); }
 
     /** Dump all registered stats (debugging / examples). */
     void dumpStats(std::ostream &os) const;
@@ -126,6 +140,7 @@ class System
     std::unique_ptr<DramCacheCtrl> _dcache;
     std::unique_ptr<CoreEngine> _engine;
     std::unique_ptr<Tracer> _tracer;
+    std::unique_ptr<ProtocolChecker> _checker;
 };
 
 /** Convenience: build + run one configuration. */

@@ -249,8 +249,8 @@ INSTANTIATE_TEST_SUITE_P(
                    PagePolicy::Close},
         SchedParam{"tdram_noprobe_open", true, false, false,
                    PagePolicy::Open}),
-    [](const ::testing::TestParamInfo<SchedParam> &info) {
-        return std::string(info.param.name);
+    [](const ::testing::TestParamInfo<SchedParam> &pi) {
+        return std::string(pi.param.name);
     });
 
 } // namespace

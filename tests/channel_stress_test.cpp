@@ -144,8 +144,8 @@ INSTANTIATE_TEST_SUITE_P(
         StressParam{"ndc", true, true, false},
         StressParam{"tdram", true, false, true},
         StressParam{"tdram_noprobe", true, false, false}),
-    [](const ::testing::TestParamInfo<StressParam> &info) {
-        return std::string(info.param.name);
+    [](const ::testing::TestParamInfo<StressParam> &pi) {
+        return std::string(pi.param.name);
     });
 
 } // namespace

@@ -1,0 +1,60 @@
+#!/bin/sh
+# Guard test for the TDRAM_CHECK compile-time gate (DESIGN.md §11).
+#
+# TSIM_CHECK_EVENT's wrapper is inline but routes every event into the
+# out-of-line ProtocolChecker::check(). A TDRAM_CHECK=1 compile of the
+# hottest hook site (dram/channel.cc) therefore references a
+# ProtocolChecker symbol; a TDRAM_CHECK=0 compile must not reference
+# any — proving the checker hooks compiled out entirely, not just
+# branched around.
+#
+# Usage: check_protocol_gate.sh <repo-source-dir>
+# Exit codes: 0 pass, 1 fail, 77 skip (toolchain unavailable).
+
+set -u
+
+SRC_DIR=${1:-$(cd "$(dirname "$0")/.." && pwd)}
+CXX=${CXX:-c++}
+
+command -v "$CXX" >/dev/null 2>&1 || { echo "skip: no $CXX"; exit 77; }
+command -v nm >/dev/null 2>&1 || { echo "skip: no nm"; exit 77; }
+
+TMP=$(mktemp -d) || exit 77
+trap 'rm -rf "$TMP"' EXIT
+
+FLAGS="-std=c++20 -O2 -I $SRC_DIR/src -c $SRC_DIR/src/dram/channel.cc"
+
+if ! "$CXX" $FLAGS -DTDRAM_CHECK=1 -o "$TMP/on.o"; then
+    echo "FAIL: TDRAM_CHECK=1 compile of channel.cc failed"
+    exit 1
+fi
+if ! "$CXX" $FLAGS -DTDRAM_CHECK=0 -o "$TMP/off.o"; then
+    echo "FAIL: TDRAM_CHECK=0 compile of channel.cc failed"
+    exit 1
+fi
+
+if ! nm -C "$TMP/on.o" | grep -q 'ProtocolChecker::check'; then
+    echo "FAIL: TDRAM_CHECK=1 object lacks a ProtocolChecker::check" \
+         "reference - the guard no longer proves anything"
+    exit 1
+fi
+
+if nm -C "$TMP/off.o" | grep -q 'ProtocolChecker'; then
+    echo "FAIL: TDRAM_CHECK=0 object still references" \
+         "ProtocolChecker - checker hooks were not compiled out"
+    nm -C "$TMP/off.o" | grep 'ProtocolChecker'
+    exit 1
+fi
+
+# The gated-off object must also be no larger than the checked one.
+ON_SIZE=$(wc -c < "$TMP/on.o")
+OFF_SIZE=$(wc -c < "$TMP/off.o")
+if [ "$OFF_SIZE" -gt "$ON_SIZE" ]; then
+    echo "FAIL: TDRAM_CHECK=0 object ($OFF_SIZE B) is larger than" \
+         "TDRAM_CHECK=1 ($ON_SIZE B)"
+    exit 1
+fi
+
+echo "PASS: checker hooks gate correctly" \
+     "(on: $ON_SIZE B, off: $OFF_SIZE B)"
+exit 0

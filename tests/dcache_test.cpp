@@ -189,8 +189,8 @@ TEST_P(PerDesign, OutcomeCountersAddUp)
 
 INSTANTIATE_TEST_SUITE_P(
     Designs, PerDesign, ::testing::ValuesIn(kAllCacheDesigns),
-    [](const ::testing::TestParamInfo<Design> &info) {
-        std::string n = designName(info.param);
+    [](const ::testing::TestParamInfo<Design> &pi) {
+        std::string n = designName(pi.param);
         for (auto &c : n)
             if (c == '-')
                 c = '_';

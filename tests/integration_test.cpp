@@ -77,8 +77,8 @@ TEST_P(EndToEnd, DeterministicAcrossRuns)
 
 INSTANTIATE_TEST_SUITE_P(
     Designs, EndToEnd, ::testing::ValuesIn(kAllDesigns),
-    [](const ::testing::TestParamInfo<Design> &info) {
-        std::string n = designName(info.param);
+    [](const ::testing::TestParamInfo<Design> &pi) {
+        std::string n = designName(pi.param);
         for (auto &c : n)
             if (c == '-')
                 c = '_';

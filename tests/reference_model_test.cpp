@@ -140,8 +140,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Design::CascadeLake, Design::Alloy,
                       Design::Bear, Design::Ndc, Design::Tdram,
                       Design::Ideal),
-    [](const ::testing::TestParamInfo<Design> &info) {
-        std::string n = designName(info.param);
+    [](const ::testing::TestParamInfo<Design> &pi) {
+        std::string n = designName(pi.param);
         for (auto &c : n)
             if (c == '-')
                 c = '_';

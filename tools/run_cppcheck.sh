@@ -1,0 +1,39 @@
+#!/bin/sh
+# cppcheck analysis gate (DESIGN.md §11): warning/performance/
+# portability checks over all first-party code, failing on any
+# unsuppressed diagnostic. Suppressions live in .cppcheck-suppressions
+# with a rationale each.
+#
+# Usage: run_cppcheck.sh
+# Exit codes: 0 clean, 1 diagnostics, 77 skip (cppcheck missing —
+# the container image has only gcc; CI installs cppcheck).
+
+set -u
+
+SRC_DIR=$(cd "$(dirname "$0")/.." && pwd)
+CPPCHECK=${CPPCHECK:-cppcheck}
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+
+command -v "$CPPCHECK" >/dev/null 2>&1 || {
+    echo "skip: no $CPPCHECK in PATH"
+    exit 77
+}
+
+"$CPPCHECK" \
+    --enable=warning,performance,portability \
+    --error-exitcode=1 \
+    --inline-suppr \
+    --suppressions-list="$SRC_DIR/.cppcheck-suppressions" \
+    --std=c++20 \
+    --language=c++ \
+    -j "$JOBS" \
+    -I "$SRC_DIR/src" \
+    -I "$SRC_DIR/tests" \
+    --quiet \
+    "$SRC_DIR/src" "$SRC_DIR/bench" "$SRC_DIR/tools" \
+    "$SRC_DIR/examples" "$SRC_DIR/tests" || {
+    echo "FAIL: cppcheck reported diagnostics (see above)"
+    exit 1
+}
+echo "PASS: cppcheck clean"
+exit 0

@@ -16,6 +16,11 @@
  *       swimlane per (channel, bank). Default output: stdout.
  *   trace_tool dump <trace.tdt> [--limit N]
  *       Human-readable record listing (debugging).
+ *   trace_tool check <trace.tdt> [--device D] [--page P] ...
+ *       Offline protocol/invariant audit (DESIGN.md §11): replay the
+ *       trace through the same rule engine the inline checker runs
+ *       and report the first violations with per-channel context.
+ *       Exit 0 when clean; exit 1 on any violation.
  */
 
 #include <cstdio>
@@ -23,7 +28,9 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "check/offline.hh"
 #include "trace/trace.hh"
 #include "trace/trace_analysis.hh"
 
@@ -41,7 +48,13 @@ usage()
         "  summarize <trace.tdt> [--depth-series]\n"
         "  diff <a.tdt> <b.tdt>\n"
         "  export <trace.tdt> [out.json]\n"
-        "  dump <trace.tdt> [--limit N]\n");
+        "  dump <trace.tdt> [--limit N]\n"
+        "  check <trace.tdt> [--device tdram|tdram-noprobe|ndc|cl|"
+        "alloy|bear]\n"
+        "        [--page open|close] [--channels N] [--mm-channels N]"
+        "\n"
+        "        [--banks N] [--flush-entries N] [--context N]\n"
+        "  check --rules\n");
     std::exit(2);
 }
 
@@ -128,6 +141,100 @@ cmdDump(int argc, char **argv)
     return 0;
 }
 
+int
+cmdCheck(int argc, char **argv)
+{
+    if (argc < 3)
+        usage();
+    if (std::strcmp(argv[2], "--rules") == 0) {
+        for (const CheckRuleInfo &r : checkRules()) {
+            std::printf("%-18s %-14s %s\n", r.id, r.timing,
+                        r.summary);
+        }
+        return 0;
+    }
+
+    OfflineCheckOptions opts;
+    unsigned context = 8;
+    for (int i = 3; i < argc; ++i) {
+        const std::string name = argv[i];
+        if (i + 1 >= argc)
+            usage();
+        const char *value = argv[++i];
+        const auto num = [value] {
+            return static_cast<unsigned>(
+                std::strtoul(value, nullptr, 10));
+        };
+        if (name == "--device") {
+            opts.device = value;
+        } else if (name == "--page") {
+            if (std::strcmp(value, "open") == 0)
+                opts.openPage = true;
+            else if (std::strcmp(value, "close") == 0)
+                opts.openPage = false;
+            else
+                usage();
+        } else if (name == "--channels") {
+            opts.channels = num();
+        } else if (name == "--mm-channels") {
+            opts.mmChannels = num();
+        } else if (name == "--banks") {
+            opts.banks = num();
+        } else if (name == "--flush-entries") {
+            opts.flushEntries = num();
+        } else if (name == "--context") {
+            context = num();
+        } else {
+            usage();
+        }
+    }
+
+    const TraceFile t = loadOrDie(argv[2]);
+    const CheckReport rep = checkTrace(t, opts);
+    if (!rep.error.empty()) {
+        std::fprintf(stderr, "trace_tool: %s\n", rep.error.c_str());
+        return 2;
+    }
+    if (rep.ok) {
+        std::printf("clean: %llu events, 0 violations (device=%s)\n",
+                    static_cast<unsigned long long>(rep.events),
+                    opts.device.c_str());
+        return 0;
+    }
+
+    std::printf("%llu violation(s) in %llu events (device=%s)\n",
+                static_cast<unsigned long long>(rep.violationCount),
+                static_cast<unsigned long long>(rep.events),
+                opts.device.c_str());
+    // First violation with the preceding same-channel records: the
+    // rule engine keyed the stored index to the record's position in
+    // emission (seq) order, which is exactly t.records order.
+    const CheckViolation &first = rep.violations.front();
+    if (context > 0 && first.index < t.records.size()) {
+        std::printf("context (channel %u, last %u records):\n",
+                    first.channel, context);
+        std::vector<const TraceRecord *> ctx;
+        for (std::uint64_t i = 0; i <= first.index; ++i) {
+            if (t.records[i].channel == first.channel)
+                ctx.push_back(&t.records[i]);
+        }
+        const std::size_t begin =
+            ctx.size() > context ? ctx.size() - context : 0;
+        for (std::size_t i = begin; i < ctx.size(); ++i)
+            std::printf("  %s\n", formatTraceRecord(*ctx[i]).c_str());
+    }
+    for (const CheckViolation &v : rep.violations) {
+        std::printf("%s\n",
+                    ProtocolChecker::formatViolation(v).c_str());
+    }
+    if (rep.violationCount > rep.violations.size()) {
+        std::printf("... %llu more violation(s) not stored\n",
+                    static_cast<unsigned long long>(
+                        rep.violationCount - rep.violations.size()));
+    }
+    return 1;
+}
+
 } // namespace
 
 int
@@ -144,5 +251,7 @@ main(int argc, char **argv)
         return cmdExport(argc, argv);
     if (cmd == "dump")
         return cmdDump(argc, argv);
+    if (cmd == "check")
+        return cmdCheck(argc, argv);
     usage();
 }
