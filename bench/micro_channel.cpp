@@ -18,7 +18,8 @@
  *
  * Emits BENCH_channel.json (override with --out FILE).
  *
- * Usage: micro_channel [--requests N] [--seed N] [--out FILE]
+ * Usage: micro_channel [--requests N] [--seed N] [--reps N]
+ *                      [--min-time SECS] [--out FILE]
  */
 
 #include <atomic>
@@ -247,6 +248,38 @@ measure(const KindCfg &k, std::uint64_t requests, std::uint32_t seed,
     return m;
 }
 
+/**
+ * Repeat until both @p reps runs and @p min_time measured seconds
+ * are reached; keep the fastest (throughput noise is one-sided). A
+ * checksum change between repetitions is host non-determinism and
+ * aborts the benchmark.
+ */
+template <typename ChanT, typename ReqT>
+Measurement
+measureBest(const KindCfg &k, std::uint64_t requests,
+            std::uint32_t seed, unsigned reps, double min_time,
+            TraceBuffer *tb = nullptr)
+{
+    Measurement best;
+    double spent = 0;
+    for (unsigned i = 0; i < reps || spent < min_time; ++i) {
+        const Measurement m =
+            measure<ChanT, ReqT>(k, requests, seed, tb);
+        spent += static_cast<double>(requests) / m.reqPerSec;
+        if (i > 0 && m.checksum != best.checksum) {
+            std::fprintf(stderr,
+                         "FAIL: %s rep %u changed the checksum "
+                         "(%llx vs %llx)\n",
+                         k.name, i, (unsigned long long)m.checksum,
+                         (unsigned long long)best.checksum);
+            std::exit(1);
+        }
+        if (i == 0 || m.reqPerSec > best.reqPerSec)
+            best = m;
+    }
+    return best;
+}
+
 } // namespace
 
 int
@@ -254,6 +287,8 @@ main(int argc, char **argv)
 {
     std::uint64_t requests = 200000;
     std::uint32_t seed = 7;
+    unsigned reps = 1;
+    double min_time = 0;
     std::string out = "BENCH_channel.json";
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
@@ -261,18 +296,25 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
             seed = static_cast<std::uint32_t>(
                 std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--reps") == 0 &&
+                   i + 1 < argc) {
+            reps = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--min-time") == 0 &&
+                   i + 1 < argc) {
+            min_time = std::strtod(argv[++i], nullptr);
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             out = argv[++i];
         } else {
-            std::fprintf(
-                stderr,
-                "usage: %s [--requests N] [--seed N] [--out FILE]\n",
-                argv[0]);
+            std::fprintf(stderr,
+                         "usage: %s [--requests N] [--seed N] "
+                         "[--reps N] [--min-time SECS] [--out FILE]\n",
+                         argv[0]);
             return 1;
         }
     }
-    if (requests == 0) {
-        std::fprintf(stderr, "--requests must be > 0\n");
+    if (requests == 0 || reps == 0) {
+        std::fprintf(stderr, "--requests and --reps must be > 0\n");
         return 1;
     }
 
@@ -285,8 +327,8 @@ main(int argc, char **argv)
         const std::uint64_t fallbacks0 =
             tsim::InlineFunction::heapFallbacks();
         const Measurement fast =
-            measure<tsim::DramChannel, tsim::ChanReq>(k, requests,
-                                                      seed);
+            measureBest<tsim::DramChannel, tsim::ChanReq>(
+                k, requests, seed, reps, min_time);
         const std::uint64_t fast_fallbacks =
             tsim::InlineFunction::heapFallbacks() - fallbacks0;
 
@@ -295,13 +337,13 @@ main(int argc, char **argv)
         Measurement traced;
         {
             tsim::Tracer tracer("", 1, 4096);
-            traced = measure<tsim::DramChannel, tsim::ChanReq>(
-                k, requests, seed, &tracer.buffer(0));
+            traced = measureBest<tsim::DramChannel, tsim::ChanReq>(
+                k, requests, seed, reps, min_time, &tracer.buffer(0));
         }
 
         const Measurement legacy =
-            measure<tsim::LegacyDramChannel, tsim::LegacyChanReq>(
-                k, requests, seed);
+            measureBest<tsim::LegacyDramChannel, tsim::LegacyChanReq>(
+                k, requests, seed, reps, min_time);
 
         if (fast.checksum != legacy.checksum) {
             std::fprintf(

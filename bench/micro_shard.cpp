@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Shard-engine scaling microbenchmark: full-system TDRAM runs on a
+ * 4-channel configuration at 1, 2, and 4 shard threads, reporting
+ * kernel events/sec and demand requests/sec per thread count plus
+ * scaling efficiency against the single-thread sharded baseline.
+ *
+ * Every run folds its stats dump and runtime into a checksum; the
+ * binary FAILS (nonzero exit) unless all thread counts produce the
+ * same value — the determinism contract of DESIGN.md §12 is checked
+ * on every perf-smoke run, not just in the test suite.
+ *
+ * Speedup numbers are only meaningful when the host actually has the
+ * cores; the JSON records host_cores so a 1-core CI box reporting
+ * ~1.0x scaling is read as "no parallel hardware", not a regression.
+ *
+ * Emits BENCH_shard.json (override with --out FILE).
+ *
+ * Usage: micro_shard [--ops N] [--reps N] [--min-time SECS]
+ *                    [--out FILE]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "system/system.hh"
+
+namespace
+{
+
+using namespace tsim;
+
+std::uint64_t
+fnv(std::uint64_t h, std::uint64_t v)
+{
+    return (h ^ v) * 1099511628211ULL;
+}
+
+SystemConfig
+benchCfg(unsigned threads, std::uint64_t ops)
+{
+    SystemConfig cfg;
+    cfg.design = Design::Tdram;
+    cfg.dcacheCapacity = 8ULL << 20;
+    cfg.dcacheChannels = 4;
+    cfg.cores.cores = 4;
+    cfg.cores.opsPerCore = ops;
+    cfg.cores.llcBytes = 256 * 1024;
+    cfg.warmupOpsPerCore = 10000;
+    cfg.threads = threads;
+    return cfg;
+}
+
+struct Measurement
+{
+    double eventsPerSec = 0;
+    double reqPerSec = 0;
+    double seconds = 0;
+    std::uint64_t checksum = 0;
+    Tick window = 0;
+};
+
+/** One full-system run; checksum covers stats dump + runtime. */
+Measurement
+runOnce(unsigned threads, std::uint64_t ops)
+{
+    System sys(benchCfg(threads, ops), findWorkload("is.C"));
+    const SimReport r = sys.run();
+
+    Measurement m;
+    m.seconds = r.hostPerf.hostSeconds;
+    m.eventsPerSec = r.hostPerf.eventsPerSec();
+    m.reqPerSec =
+        static_cast<double>(r.demandReads + r.demandWrites) /
+        (m.seconds > 0 ? m.seconds : 1.0);
+    m.window = sys.shardSim() ? sys.shardSim()->window() : 0;
+
+    std::ostringstream os;
+    sys.dumpStats(os);
+    std::uint64_t h = 14695981039346656037ULL;
+    for (char c : os.str())
+        h = fnv(h, static_cast<unsigned char>(c));
+    m.checksum = fnv(h, r.runtimeTicks);
+    return m;
+}
+
+/**
+ * Repeat until both @p reps runs and @p min_time measured seconds
+ * are reached; keep the fastest run (throughput is noise-bounded
+ * from above). All repetitions must agree on the checksum.
+ */
+Measurement
+measure(unsigned threads, std::uint64_t ops, unsigned reps,
+        double min_time, bool &rep_mismatch)
+{
+    runOnce(threads, ops / 4 + 1);  // warm-up: pools, page cache
+
+    Measurement best;
+    std::uint64_t expect = 0;
+    double spent = 0;
+    for (unsigned i = 0; i < reps || spent < min_time; ++i) {
+        const Measurement m = runOnce(threads, ops);
+        spent += m.seconds;
+        if (expect == 0) {
+            expect = m.checksum;
+        } else if (m.checksum != expect) {
+            std::fprintf(stderr,
+                         "FAIL: threads=%u rep %u changed the "
+                         "checksum (%llx vs %llx)\n",
+                         threads, i, (unsigned long long)m.checksum,
+                         (unsigned long long)expect);
+            rep_mismatch = true;
+        }
+        if (m.eventsPerSec > best.eventsPerSec)
+            best = m;
+    }
+    best.checksum = expect;
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t ops = 20000;
+    unsigned reps = 1;
+    double min_time = 0;
+    std::string out = "BENCH_shard.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
+            ops = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--reps") == 0 &&
+                   i + 1 < argc) {
+            reps = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--min-time") == 0 &&
+                   i + 1 < argc) {
+            min_time = std::strtod(argv[++i], nullptr);
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--ops N] [--reps N] "
+                         "[--min-time SECS] [--out FILE]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+    if (ops == 0 || reps == 0) {
+        std::fprintf(stderr, "--ops and --reps must be > 0\n");
+        return 1;
+    }
+
+    const unsigned host_cores = std::thread::hardware_concurrency();
+    const unsigned thread_counts[] = {1, 2, 4};
+
+    bool mismatch = false;
+    std::vector<Measurement> ms;
+    for (unsigned t : thread_counts)
+        ms.push_back(measure(t, ops, reps, min_time, mismatch));
+
+    for (std::size_t i = 1; i < ms.size(); ++i) {
+        if (ms[i].checksum != ms[0].checksum) {
+            std::fprintf(stderr,
+                         "FAIL: threads=%u diverged from the serial "
+                         "schedule (checksum %llx vs %llx)\n",
+                         thread_counts[i],
+                         (unsigned long long)ms[i].checksum,
+                         (unsigned long long)ms[0].checksum);
+            mismatch = true;
+        }
+    }
+
+    std::string entries;
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+        const double speedup =
+            ms[0].eventsPerSec > 0
+                ? ms[i].eventsPerSec / ms[0].eventsPerSec
+                : 0.0;
+        const double efficiency = speedup / thread_counts[i];
+        std::printf("threads=%u  %12.0f events/s  %9.0f req/s  "
+                    "%.2fx vs 1T  (%.0f%% efficiency)\n",
+                    thread_counts[i], ms[i].eventsPerSec,
+                    ms[i].reqPerSec, speedup, efficiency * 100);
+        char buf[512];
+        std::snprintf(buf, sizeof(buf),
+                      "%s    {\n"
+                      "      \"threads\": %u,\n"
+                      "      \"events_per_sec\": %.0f,\n"
+                      "      \"req_per_sec\": %.0f,\n"
+                      "      \"speedup_vs_1\": %.3f,\n"
+                      "      \"efficiency\": %.3f\n"
+                      "    }",
+                      entries.empty() ? "" : ",\n", thread_counts[i],
+                      ms[i].eventsPerSec, ms[i].reqPerSec, speedup,
+                      efficiency);
+        entries += buf;
+    }
+    std::printf("checksums %s, host has %u core(s)\n",
+                mismatch ? "DIVERGED" : "match", host_cores);
+
+    if (std::FILE *f = std::fopen(out.c_str(), "w")) {
+        std::fprintf(f,
+                     "{\n"
+                     "  \"bench\": \"micro_shard\",\n"
+                     "  \"ops_per_core\": %llu,\n"
+                     "  \"reps\": %u,\n"
+                     "  \"min_time_sec\": %.3f,\n"
+                     "  \"host_cores\": %u,\n"
+                     "  \"window_ticks\": %llu,\n"
+                     "  \"scaling\": [\n%s\n  ],\n"
+                     "  \"checksum_match\": %s\n"
+                     "}\n",
+                     (unsigned long long)ops, reps, min_time,
+                     host_cores, (unsigned long long)ms[0].window,
+                     entries.c_str(), mismatch ? "false" : "true");
+        std::fclose(f);
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", out.c_str());
+        return 1;
+    }
+    return mismatch ? 1 : 0;
+}

@@ -23,6 +23,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "system/system.hh"
@@ -46,6 +47,9 @@ struct CliOptions
     bool csv = false;
     bool check = false;  ///< inline protocol checker on every run
     std::string tracePath;  ///< .tdt output (run) / prefix (others)
+    bool threadsSet = false;  ///< --threads given (0 = single-queue)
+    unsigned threads = 0;     ///< shard-engine execution threads
+    std::uint64_t window = 0; ///< shard window override in ticks
 };
 
 [[noreturn]] void
@@ -60,10 +64,17 @@ usage()
         "options: --ops N --warmup N --seed N --capacity MiB\n"
         "         --ways W --no-probe --open-page --predictor\n"
         "         --stats --csv --trace PATH --check\n"
+        "         --threads N --window TICKS\n"
         "  --trace writes a .tdt event trace (run: exactly PATH;\n"
         "  compare/sweep: PATH is a prefix, one file per run)\n"
         "  --check audits every command with the inline protocol\n"
-        "  checker (exit 1 on any violation)\n");
+        "  checker (exit 1 on any violation)\n"
+        "  --threads runs the sharded engine (one shard per DRAM\n"
+        "  channel); output is byte-identical for any N, and N=0\n"
+        "  auto-detects the hardware thread count. Omit the flag\n"
+        "  for the classic single-queue engine.\n"
+        "  --window overrides the shard window width in ticks\n"
+        "  (default: the minimum tBURST over all channels)\n");
     std::exit(1);
 }
 
@@ -104,6 +115,17 @@ parseOptions(int argc, char **argv, int first)
             o.tracePath = argv[++i];
         } else if (a == "--check") {
             o.check = true;
+        } else if (a == "--threads") {
+            o.threadsSet = true;
+            o.threads = static_cast<unsigned>(next());
+            if (o.threads == 0) {
+                // Satellite of the sharding work: 0 auto-detects
+                // instead of erroring (mirrors SweepRunner --jobs 0).
+                const unsigned hw = std::thread::hardware_concurrency();
+                o.threads = hw ? hw : 1;
+            }
+        } else if (a == "--window") {
+            o.window = next();
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
             usage();
@@ -146,6 +168,10 @@ makeConfig(const CliOptions &o, Design d)
     cfg.warmupOpsPerCore = o.warmup;
     cfg.seed = o.seed;
     cfg.checkProtocol = o.check;
+    if (o.threadsSet) {
+        cfg.threads = o.threads;
+        cfg.shardWindow = o.window;
+    }
     if (o.check && !checkCompiledIn()) {
         std::fprintf(stderr,
                      "warning: --check requested but the protocol "

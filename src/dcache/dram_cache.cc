@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "dram/shard_relay.hh"
+
 namespace tsim
 {
 
@@ -42,9 +44,21 @@ DramCacheCtrl::DramCacheCtrl(EventQueue &eq, std::string name,
     _burstBytes = static_cast<unsigned>(
         lineBytes * cfg.timing.burstScale + 0.5);
 
+    panic_if(!cfg.channelQueues.empty() &&
+                 (cfg.channelQueues.size() != cfg.channels ||
+                  cfg.channelOutboxes.size() != cfg.channels),
+             "sharded mode needs one queue and one outbox per channel");
+    _outboxes = cfg.channelOutboxes;
+
     for (unsigned c = 0; c < cfg.channels; ++c) {
+        // Sharded mode: the channel runs on its own per-shard queue;
+        // its tag peeks stay direct (side-effect free, and the tags
+        // only change while channels are quiescent), but completion
+        // hooks must relay through the shard outbox.
+        EventQueue &ceq =
+            cfg.channelQueues.empty() ? eq : *cfg.channelQueues[c];
         auto ch = std::make_unique<DramChannel>(
-            eq, this->name() + ".ch" + std::to_string(c), chan_cfg,
+            ceq, this->name() + ".ch" + std::to_string(c), chan_cfg,
             _map);
         if (chan_cfg.inDramTags) {
             ch->peekTags = [this](Addr a) { return _tags.peek(a); };
@@ -55,6 +69,10 @@ DramCacheCtrl::DramCacheCtrl(EventQueue &eq, std::string name,
                 accountCache(0, lineBytes, 0);
                 mmWrite(victim);
             };
+            if (!_outboxes.empty()) {
+                ch->onFlushArrive = relayWrapFlush(
+                    std::move(ch->onFlushArrive), *_outboxes[c]);
+            }
         }
         _chans.push_back(std::move(ch));
     }
@@ -98,6 +116,7 @@ DramCacheCtrl::access(MemPacket pkt, RespCallback cb)
     auto txn = std::make_shared<Txn>();
     txn->pkt = pkt;
     txn->cb = std::move(cb);
+    ++_inFlight;
 
     if (!usesMshr()) {
         txn->pkt.tagIssued = curTick();
@@ -249,6 +268,8 @@ DramCacheCtrl::respond(const TxnPtr &txn, Tick when)
     if (txn->finished)
         return;
     txn->finished = true;
+    panic_if(_inFlight == 0, "demand response without an open demand");
+    --_inFlight;
     txn->pkt.completed = when;
     TSIM_TRACE_EVENT(traceBuf, TraceKind::DemandDone, when,
                      txn->pkt.addr, traceBankNone,
@@ -299,6 +320,10 @@ DramCacheCtrl::enqueueChan(ChanReq req, bool is_write)
     const bool space =
         is_write ? ch.canAcceptWrite() : ch.canAcceptRead();
     if (space) {
+        // Wrap at the final hand-off only, so the queue-full retry
+        // below never wraps a request twice.
+        if (!_outboxes.empty())
+            relayWrapReq(req, *_outboxes[chanIdx(req.addr)]);
         ch.enqueue(std::move(req));
         return;
     }

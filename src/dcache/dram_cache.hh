@@ -35,6 +35,8 @@
 namespace tsim
 {
 
+class ShardOutbox;
+
 /** The DRAM-cache designs evaluated in the paper. */
 enum class Design : std::uint8_t
 {
@@ -78,6 +80,17 @@ struct DramCacheConfig
      * contribution of the column-gating mechanism (§III-C3).
      */
     bool tdramConditionalColumn = true;
+
+    /**
+     * Sharded mode (DESIGN.md §12): one private EventQueue and one
+     * outbox per channel, owned by the System's ShardSim. When set
+     * (both must have `channels` entries), each channel runs on its
+     * own shard and every completion callback handed to a channel is
+     * relay-wrapped to post into the channel's outbox. Empty vectors
+     * select the single-queue engine.
+     */
+    std::vector<EventQueue *> channelQueues;
+    std::vector<ShardOutbox *> channelOutboxes;
 };
 
 /** Abstract DRAM-cache controller. */
@@ -185,6 +198,14 @@ class DramCacheCtrl : public SimObject
     const TagArray &tags() const { return _tags; }
     MainMemory &mainMemory() { return _mm; }
 
+    /**
+     * Demands accepted but not yet responded to. The run loop keeps
+     * stepping past CoreEngine::done() until this reaches zero so
+     * fire-and-forget writes still in flight get their responses
+     * (and the checker sees every DemandStart paired).
+     */
+    std::uint64_t inFlightDemands() const { return _inFlight; }
+
   protected:
     /** One in-flight demand transaction. */
     struct Txn
@@ -286,6 +307,8 @@ class DramCacheCtrl : public SimObject
     TagArray _tags;
     AddressMap _map;
     std::vector<std::unique_ptr<DramChannel>> _chans;
+    /** Per-channel cross-shard outboxes (empty in single-queue mode). */
+    std::vector<ShardOutbox *> _outboxes;
     MainMemory &_mm;
 
   private:
@@ -300,6 +323,7 @@ class DramCacheCtrl : public SimObject
     Histogram _conflictOcc{1.0, 40};
     std::unordered_map<Addr, unsigned> _pendingWrites;
     std::unordered_set<Addr> _prefetched;  ///< awaiting first demand
+    std::uint64_t _inFlight = 0;  ///< accepted, not yet responded
     std::uint64_t _nextChanId = 1;
     unsigned _burstBytes = lineBytes;
 };

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Cross-shard relay wrappers for channel completion callbacks
+ * (DESIGN.md §12).
+ *
+ * In sharded mode a DramChannel runs on its own shard and must not
+ * call into the controller front-end directly: its completion
+ * callbacks fire during phase B, concurrently with the other channel
+ * shards. These helpers wrap a request's callbacks (and the
+ * channel-level onFlushArrive hook) so that each invocation posts a
+ * closure into the shard's outbox instead; the coordinator delivers
+ * it on the front shard one window later, invoking the original
+ * callback with the delivery tick.
+ *
+ * Every channel-side invocation site fires its callback at the
+ * current tick (cb(t) with t == curTick), so re-invoking the
+ * original with the delivery tick preserves that invariant on the
+ * front shard — the callbacks observe a uniform +W cross-shard
+ * latency and never travel backwards in time.
+ *
+ * The original callbacks are move-only and may fire more than once
+ * (a probed request delivers both the probe and the main HM result),
+ * so the wrapper holds them behind a shared_ptr that each posted
+ * closure copies.
+ */
+
+#ifndef TSIM_DRAM_SHARD_RELAY_HH
+#define TSIM_DRAM_SHARD_RELAY_HH
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "dram/channel.hh"
+#include "sim/shard.hh"
+
+namespace tsim
+{
+
+/** Replace @p req's completion callbacks with outbox relays. */
+inline void
+relayWrapReq(ChanReq &req, ShardOutbox &ob)
+{
+    if (req.onTagResult) {
+        auto real =
+            std::make_shared<ChanTagCb>(std::move(req.onTagResult));
+        req.onTagResult = [real, &ob](Tick t, const TagResult &tr) {
+            ob.post(t, [real, tr](Tick d) { (*real)(d, tr); });
+        };
+    }
+    if (req.onDataDone) {
+        auto real =
+            std::make_shared<ChanDataCb>(std::move(req.onDataDone));
+        req.onDataDone = [real, &ob](Tick t) {
+            ob.post(t, [real](Tick d) { (*real)(d); });
+        };
+    }
+}
+
+/** Wrap a channel's onFlushArrive hook with an outbox relay. */
+inline std::function<void(Addr, Tick)>
+relayWrapFlush(std::function<void(Addr, Tick)> real, ShardOutbox &ob)
+{
+    return [real = std::move(real), &ob](Addr victim, Tick t) {
+        ob.post(t, [real, victim](Tick d) { real(victim, d); });
+    };
+}
+
+} // namespace tsim
+
+#endif // TSIM_DRAM_SHARD_RELAY_HH

@@ -1,0 +1,106 @@
+#include "sim/shard.hh"
+
+namespace tsim
+{
+
+void
+ShardOutbox::drainInto(EventQueue &front, Tick latency)
+{
+    for (ShardMsg &m : _msgs) {
+        const Tick d = m.at + latency;
+        front.schedule(d, [fn = std::move(m.fn), d]() mutable {
+            fn(d);
+        });
+    }
+    _msgs.clear();
+}
+
+ShardSim::ShardSim(unsigned shards, unsigned threads)
+    : _threads(threads == 0 ? 1 : threads)
+{
+    _shards.reserve(shards);
+    for (unsigned s = 0; s < shards; ++s)
+        _shards.push_back(std::make_unique<Shard>());
+    // Worker w (1-based) handles shards with s % threads == w; the
+    // coordinator doubles as worker 0 during phase B. More threads
+    // than shards would leave workers permanently idle.
+    const unsigned spawn =
+        std::min(_threads, shards ? shards : 1u) - 1;
+    for (unsigned w = 1; w <= spawn; ++w)
+        _workers.emplace_back([this, w] { workerLoop(w); });
+    _threads = spawn + 1;
+}
+
+ShardSim::~ShardSim()
+{
+    if (!_workers.empty()) {
+        _stop.store(true, std::memory_order_relaxed);
+        _epoch.fetch_add(1, std::memory_order_release);
+        for (std::thread &t : _workers)
+            t.join();
+    }
+}
+
+void
+ShardSim::runOwned(unsigned worker, Tick bound)
+{
+    for (unsigned s = worker; s < _shards.size(); s += _threads) {
+        Shard &sh = *_shards[s];
+        sh.executed = sh.eq.runBefore(bound);
+    }
+}
+
+void
+ShardSim::workerLoop(unsigned worker)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        while (_epoch.load(std::memory_order_acquire) == seen)
+            std::this_thread::yield();
+        ++seen;
+        if (_stop.load(std::memory_order_relaxed))
+            return;
+        runOwned(worker, _bound);
+        _done.fetch_add(1, std::memory_order_release);
+    }
+}
+
+std::uint64_t
+ShardSim::runChannelPhase(Tick bound)
+{
+    if (_workers.empty()) {
+        // Canonical serial schedule: every shard inline, ascending.
+        runOwned(0, bound);
+    } else {
+        _bound = bound;
+        _done.store(0, std::memory_order_relaxed);
+        _epoch.fetch_add(1, std::memory_order_release);
+        runOwned(0, bound);
+        const unsigned workers =
+            static_cast<unsigned>(_workers.size());
+        while (_done.load(std::memory_order_acquire) != workers)
+            std::this_thread::yield();
+    }
+    std::uint64_t executed = 0;
+    for (const auto &sh : _shards)
+        executed += sh->executed;
+    return executed;
+}
+
+void
+ShardSim::drainOutboxes(EventQueue &front)
+{
+    for (auto &sh : _shards)
+        sh->outbox.drainInto(front, _window);
+}
+
+Tick
+ShardSim::nextEventTick() const
+{
+    Tick m = maxTick;
+    for (const auto &sh : _shards)
+        m = std::min(m, sh->eq.nextEventTick());
+    return m;
+}
+
+} // namespace tsim

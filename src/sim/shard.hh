@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Sharded deterministic simulation engine (DESIGN.md §12).
+ *
+ * Splits one simulated system across worker threads while keeping
+ * every observable output — event interleaving, trace byte-streams,
+ * stats, checker verdicts — bit-identical for any thread count.
+ *
+ * Model: the system is partitioned into one *front* shard (cores,
+ * LLC, DRAM-cache controller front-end, main-memory front queues;
+ * always driven by the coordinating thread through the System's own
+ * EventQueue) plus one shard per DRAM channel, each owning a private
+ * EventQueue. Time advances in conservative windows of W ticks
+ * (W = the configured lookahead, by default the minimum tBURST over
+ * all channels). Each superstep k covers [k*W, (k+1)*W) and runs in
+ * two phases:
+ *
+ *  - Phase A: the front shard runs its window alone. Channels are
+ *    quiescent, so the front may call into them directly (enqueue,
+ *    admission checks, flush-buffer queries) with no synchronization.
+ *  - Phase B: every channel shard runs its window, distributed over
+ *    the worker threads. The front is quiescent; channels may read
+ *    the controller's tag state through their side-effect-free
+ *    peekTags hook, and deliver completions (tag results, data-done,
+ *    flush arrivals) by posting closures into their per-shard outbox
+ *    instead of calling the controller.
+ *
+ * At the superstep boundary the coordinator drains every outbox in
+ * ascending shard order (FIFO within a shard) into the front queue,
+ * delivering each message at its emission tick plus W. Phase order,
+ * drain order, and per-queue execution order are all fixed by the
+ * configuration, so the schedule is a pure function of the config —
+ * the thread count only changes which OS thread runs which shard.
+ *
+ * Synchronization is a lock-free epoch barrier: the coordinator
+ * publishes the window bound and bumps an atomic epoch; workers spin
+ * (yielding) on the epoch, run their shards, and bump a done
+ * counter the coordinator spins on. The release/acquire pairs give
+ * the cross-phase happens-before edges both ways.
+ */
+
+#ifndef TSIM_SIM_SHARD_HH
+#define TSIM_SIM_SHARD_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/inline_function.hh"
+#include "sim/ticks.hh"
+
+namespace tsim
+{
+
+/** Callback type delivered across a shard boundary. */
+using ShardFn = InlineCallable<void(Tick), 64>;
+
+/** One cross-shard message: a closure and its emission tick. */
+struct ShardMsg
+{
+    Tick at = 0;
+    ShardFn fn;
+};
+
+/**
+ * Per-shard outbound mailbox (channel shard -> front shard).
+ *
+ * Single-producer (the shard's owning worker, during phase B),
+ * single-consumer (the coordinator, at the superstep boundary); the
+ * two roles are separated by the epoch barrier, so a plain vector
+ * needs no further synchronization.
+ */
+class ShardOutbox
+{
+  public:
+    /** Post @p fn for delivery; @p at must be the current tick. */
+    void
+    post(Tick at, ShardFn fn)
+    {
+        _msgs.push_back(ShardMsg{at, std::move(fn)});
+    }
+
+    bool empty() const { return _msgs.empty(); }
+
+    /**
+     * Deliver every message into @p front in FIFO order: each
+     * closure is scheduled (and invoked with) its emission tick plus
+     * @p latency, the uniform cross-shard delivery delay.
+     */
+    void drainInto(EventQueue &front, Tick latency);
+
+  private:
+    std::vector<ShardMsg> _msgs;
+};
+
+/**
+ * Owns the channel-shard event queues, outboxes, worker threads, and
+ * the epoch barrier. The System drives it one superstep at a time.
+ */
+class ShardSim
+{
+  public:
+    /**
+     * @param shards  Channel shard count (DRAM-cache + main-memory
+     *                channels; fixed by the configuration).
+     * @param threads Total execution threads including the
+     *                coordinator. 1 spawns no workers: every phase-B
+     *                shard runs inline on the coordinator, which is
+     *                the canonical serial schedule every other
+     *                thread count must reproduce byte-for-byte.
+     */
+    ShardSim(unsigned shards, unsigned threads);
+    ~ShardSim();
+
+    ShardSim(const ShardSim &) = delete;
+    ShardSim &operator=(const ShardSim &) = delete;
+
+    unsigned numShards() const
+    {
+        return static_cast<unsigned>(_shards.size());
+    }
+    unsigned threads() const { return _threads; }
+
+    EventQueue &queue(unsigned s) { return _shards[s]->eq; }
+    ShardOutbox &outbox(unsigned s) { return _shards[s]->outbox; }
+
+    /** Conservative window width in ticks (set once before running). */
+    void setWindow(Tick w) { _window = w; }
+    Tick window() const { return _window; }
+
+    /**
+     * Phase B: run every channel shard up to (excluding) @p bound,
+     * in parallel across the worker threads.
+     * @return events executed across all shards.
+     */
+    std::uint64_t runChannelPhase(Tick bound);
+
+    /** Drain every outbox into @p front (ascending shard order). */
+    void drainOutboxes(EventQueue &front);
+
+    /** Earliest pending event over all channel shards (maxTick if none). */
+    Tick nextEventTick() const;
+
+  private:
+    struct Shard
+    {
+        EventQueue eq;
+        ShardOutbox outbox;
+        /** Events executed in the last phase (owner-written). */
+        std::uint64_t executed = 0;
+    };
+
+    /** Run the shards owned by @p worker up to @p bound. */
+    void runOwned(unsigned worker, Tick bound);
+
+    void workerLoop(unsigned worker);
+
+    std::vector<std::unique_ptr<Shard>> _shards;
+    unsigned _threads;
+    std::vector<std::thread> _workers;
+
+    /** Barrier state. @{ */
+    std::atomic<std::uint64_t> _epoch{0};
+    std::atomic<unsigned> _done{0};
+    std::atomic<bool> _stop{false};
+    Tick _bound = 0;   ///< published before the epoch bump
+    /** @} */
+
+    Tick _window = 0;
+};
+
+} // namespace tsim
+
+#endif // TSIM_SIM_SHARD_HH

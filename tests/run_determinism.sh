@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Golden-trace determinism gate (CI: the "determinism" job).
 #
-# Three checks, all byte-exact:
+# Five checks, all byte-exact:
 #  1. Same-config repeatability: the integration config run twice must
 #     produce identical stats dumps, CSV rows, and .tdt event traces.
 #  2. Serial vs parallel: a capacity_sweep grid with --jobs 1 and
@@ -9,6 +9,13 @@
 #     (trace_tool diff reports the first divergent record otherwise).
 #  3. Canary: a deliberately perturbed copy of a trace MUST be flagged
 #     by trace_tool diff — proving the gate can actually fail.
+#  4. Sharded repeatability: a --threads 2 run repeated, and --threads
+#     4, must reproduce the --threads 2 outputs byte for byte, with a
+#     second perturbation canary on the threaded trace.
+#  5. Sharded thread-invariance matrix: every device kind x page
+#     policy must produce identical stats/CSV and .tdt traces at
+#     --threads 1, 2, and 4 with the protocol checker enabled
+#     (DESIGN.md §12: thread count only remaps shards to OS threads).
 #
 # Usage: tests/run_determinism.sh [BUILD_DIR]   (default: build)
 
@@ -30,7 +37,7 @@ done
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 
-echo "=== [1/3] same-config repeatability (tdram_cli run) ==="
+echo "=== [1/5] same-config repeatability (tdram_cli run) ==="
 for i in 1 2; do
     "$CLI" run is.C TDRAM --ops 4000 --csv --stats \
         --trace "$WORK/run$i.tdt" > "$WORK/run$i.out"
@@ -44,7 +51,7 @@ cmp "$WORK/run1.out" "$WORK/run2.out" || {
     exit 1
 }
 
-echo "=== [2/3] serial vs parallel sweep ==="
+echo "=== [2/5] serial vs parallel sweep ==="
 "$SWEEP" is.C 3000 --jobs 1 --trace "$WORK/serial" > "$WORK/serial.csv"
 "$SWEEP" is.C 3000 --jobs 4 --trace "$WORK/par" > "$WORK/par.csv"
 cmp "$WORK/serial.csv" "$WORK/par.csv" || {
@@ -63,7 +70,7 @@ done
 [ "$njobs" -gt 0 ] || { echo "FAIL: sweep produced no traces"; exit 1; }
 echo "($njobs per-job traces identical)"
 
-echo "=== [3/3] perturbation canary ==="
+echo "=== [3/5] perturbation canary ==="
 cp "$WORK/run1.tdt" "$WORK/perturbed.tdt"
 # Flip one byte inside the first record's tick field (header is 32 B).
 printf '\xff' | dd of="$WORK/perturbed.tdt" bs=1 seek=32 count=1 \
@@ -80,5 +87,66 @@ grep -q "first divergence" "$WORK/canary.out" || {
 }
 echo "canary detected:"
 sed -n '1,3p' "$WORK/canary.out"
+
+echo "=== [4/5] sharded repeatability + threaded canary ==="
+"$CLI" run is.C TDRAM --ops 4000 --csv --stats --threads 2 \
+    --trace "$WORK/t2a.tdt" > "$WORK/t2a.out"
+"$CLI" run is.C TDRAM --ops 4000 --csv --stats --threads 2 \
+    --trace "$WORK/t2b.tdt" > "$WORK/t2b.out"
+"$CLI" run is.C TDRAM --ops 4000 --csv --stats --threads 4 \
+    --trace "$WORK/t4.tdt" > "$WORK/t4.out"
+cmp "$WORK/t2a.out" "$WORK/t2b.out" || {
+    echo "FAIL: --threads 2 output differs between identical runs"
+    exit 1
+}
+cmp "$WORK/t2a.out" "$WORK/t4.out" || {
+    echo "FAIL: output differs between --threads 2 and --threads 4"
+    exit 1
+}
+"$TOOL" diff "$WORK/t2a.tdt" "$WORK/t2b.tdt" || {
+    echo "FAIL: --threads 2 traces differ between identical runs"
+    exit 1
+}
+"$TOOL" diff "$WORK/t2a.tdt" "$WORK/t4.tdt" || {
+    echo "FAIL: traces differ between --threads 2 and --threads 4"
+    exit 1
+}
+cp "$WORK/t2a.tdt" "$WORK/t_perturbed.tdt"
+printf '\xff' | dd of="$WORK/t_perturbed.tdt" bs=1 seek=32 count=1 \
+    conv=notrunc status=none
+if "$TOOL" diff "$WORK/t2a.tdt" "$WORK/t_perturbed.tdt" \
+    > "$WORK/t_canary.out"; then
+    echo "FAIL: diff missed a perturbation in a threaded trace"
+    exit 1
+fi
+grep -q "first divergence" "$WORK/t_canary.out" || {
+    echo "FAIL: threaded canary flagged without divergence context"
+    exit 1
+}
+
+echo "=== [5/5] sharded thread-invariance matrix (with --check) ==="
+for design in CascadeLake Alloy NDC TDRAM; do
+    for page in "" "--open-page"; do
+        for n in 1 2 4; do
+            "$CLI" run is.C "$design" --ops 1500 --csv --stats \
+                --check $page --threads "$n" \
+                --trace "$WORK/m$n.tdt" > "$WORK/m$n.out" || {
+                echo "FAIL: $design $page --threads $n exited nonzero"
+                exit 1
+            }
+        done
+        for n in 2 4; do
+            cmp "$WORK/m1.out" "$WORK/m$n.out" || {
+                echo "FAIL: $design $page output differs at --threads $n"
+                exit 1
+            }
+            "$TOOL" diff "$WORK/m1.tdt" "$WORK/m$n.tdt" > /dev/null || {
+                echo "FAIL: $design $page trace differs at --threads $n"
+                exit 1
+            }
+        done
+        echo "$design ${page:-closed-page}: threads 1/2/4 identical"
+    done
+done
 
 echo "determinism gate PASSED"

@@ -6,11 +6,13 @@
 #                  event kernel's placement-new / pool machinery and
 #                  the channel scheduler's slab pool / intrusive
 #                  lists / inline-callable moves).
-#   TSan         : SweepRunner tests plus the channel stress and
-#                  old-vs-new differential schedulers — the rest of
-#                  the simulator is single-threaded, and a full TSan
-#                  run of the whole suite takes far longer for no
-#                  extra coverage.
+#   TSan         : SweepRunner tests, the channel stress and
+#                  old-vs-new differential schedulers, the shard-
+#                  engine determinism tests, and a 4-thread checked
+#                  end-to-end tdram_cli run — everything that spawns
+#                  threads. The rest of the simulator is single-
+#                  threaded, and a full TSan run of the whole suite
+#                  takes far longer for no extra coverage.
 #
 # Usage: tests/run_sanitizers.sh [asan|ubsan|tsan ...]
 #        (no args = all three, in order)
@@ -26,13 +28,18 @@ for san in "${sanitizers[@]}"; do
     echo "=== [$san] configure + build ==="
     cmake --preset "$san" >/dev/null
     cmake --build "build-$san" --target tdram_tests -j "$jobs"
+    [ "$san" = tsan ] &&
+        cmake --build "build-$san" --target tdram_cli -j "$jobs"
 
     echo "=== [$san] run ==="
     case "$san" in
         tsan)
             TSAN_OPTIONS="halt_on_error=1" \
                 "./build-$san/tests/tdram_tests" \
-                --gtest_filter='SweepRunner*:*ChannelStress*:*ChannelSched*'
+                --gtest_filter='SweepRunner*:*ChannelStress*:*ChannelSched*:*Shard*'
+            TSAN_OPTIONS="halt_on_error=1" \
+                "./build-$san/examples/tdram_cli" run is.C TDRAM \
+                --ops 1500 --csv --check --threads 4 > /dev/null
             ;;
         asan)
             ASAN_OPTIONS="detect_leaks=1" \

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Sharded-engine determinism tests (DESIGN.md §12): for every device
+ * kind and page policy, running the window-based shard engine with
+ * 1, 2, and 4 threads must produce byte-identical stats dumps,
+ * identical report fields, and identical (zero) protocol-checker
+ * verdicts — thread count only remaps shards to OS threads, never
+ * the schedule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <tuple>
+
+#include "check/check.hh"
+#include "system/system.hh"
+
+namespace tsim
+{
+namespace
+{
+
+SystemConfig
+shardedCfg(Design design, PagePolicy policy, unsigned threads)
+{
+    SystemConfig cfg;
+    cfg.design = design;
+    cfg.dcacheCapacity = 4ULL << 20;
+    cfg.dcachePagePolicy = policy;
+    cfg.dcacheChannels = 4;
+    cfg.cores.cores = 2;
+    cfg.cores.opsPerCore = 1200;
+    cfg.cores.llcBytes = 256 * 1024;
+    cfg.warmupOpsPerCore = 5000;
+    cfg.checkProtocol = true;
+    cfg.threads = threads;
+    return cfg;
+}
+
+struct RunResult
+{
+    SimReport report;
+    std::string stats;
+};
+
+RunResult
+runSharded(Design design, PagePolicy policy, unsigned threads)
+{
+    System sys(shardedCfg(design, policy, threads),
+               findWorkload("is.C"));
+    RunResult res;
+    res.report = sys.run();
+    std::ostringstream os;
+    sys.dumpStats(os);
+    res.stats = os.str();
+    return res;
+}
+
+class ShardDeterminism
+    : public ::testing::TestWithParam<std::tuple<Design, PagePolicy>>
+{
+};
+
+std::string
+paramName(
+    const ::testing::TestParamInfo<std::tuple<Design, PagePolicy>>
+        &info)
+{
+    const auto [design, policy] = info.param;
+    return std::string(designName(design)) +
+           (policy == PagePolicy::Open ? "_open" : "_close");
+}
+
+TEST_P(ShardDeterminism, ThreadCountDoesNotChangeTheRun)
+{
+    const auto [design, policy] = GetParam();
+    const RunResult serial = runSharded(design, policy, 1);
+
+    EXPECT_GT(serial.report.runtimeTicks, 0u);
+    if (checkCompiledIn()) {
+        EXPECT_GT(serial.report.checkEvents, 0u);
+        EXPECT_EQ(serial.report.checkViolations, 0u);
+    }
+
+    for (unsigned threads : {2u, 4u}) {
+        const RunResult par = runSharded(design, policy, threads);
+        EXPECT_EQ(par.stats, serial.stats) << "threads=" << threads;
+        EXPECT_EQ(par.report.runtimeTicks, serial.report.runtimeTicks);
+        EXPECT_EQ(par.report.demandReads, serial.report.demandReads);
+        EXPECT_EQ(par.report.demandWrites,
+                  serial.report.demandWrites);
+        EXPECT_DOUBLE_EQ(par.report.missRatio,
+                         serial.report.missRatio);
+        EXPECT_DOUBLE_EQ(par.report.demandReadLatencyNs,
+                         serial.report.demandReadLatencyNs);
+        EXPECT_DOUBLE_EQ(par.report.energy.totalJ(),
+                         serial.report.energy.totalJ());
+        EXPECT_EQ(par.report.checkEvents, serial.report.checkEvents);
+        EXPECT_EQ(par.report.checkViolations,
+                  serial.report.checkViolations);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesigns, ShardDeterminism,
+    ::testing::Combine(::testing::Values(Design::CascadeLake,
+                                         Design::Alloy, Design::Ndc,
+                                         Design::Tdram),
+                       ::testing::Values(PagePolicy::Close,
+                                         PagePolicy::Open)),
+    paramName);
+
+/** The window override must not change results, only the skew. */
+TEST(ShardWindow, OverrideIsDeterministicAcrossThreads)
+{
+    SystemConfig cfg = shardedCfg(Design::Tdram, PagePolicy::Close, 1);
+    cfg.shardWindow = nsToTicks(4);
+    SimReport a = runOne(cfg, findWorkload("is.C"));
+    cfg.threads = 4;
+    SimReport b = runOne(cfg, findWorkload("is.C"));
+    EXPECT_EQ(a.runtimeTicks, b.runtimeTicks);
+    EXPECT_EQ(a.checkViolations, 0u);
+    EXPECT_EQ(b.checkViolations, 0u);
+}
+
+} // namespace
+} // namespace tsim
