@@ -57,14 +57,15 @@ class SramCache
     access(Addr addr, bool is_store)
     {
         Result res;
-        TagResult tr = _tags.peek(addr);
+        const TagArray::Probe p = _tags.probe(addr);
+        const TagResult &tr = p.result;
         if (tr.hit) {
             ++hits;
             res.hit = true;
             if (is_store)
-                _tags.markDirty(addr);
+                _tags.markDirty(p);
             else
-                _tags.touch(addr);
+                _tags.touch(p);
             return res;
         }
         ++misses;
@@ -73,7 +74,7 @@ class SramCache
             res.writebackAddr = tr.victimAddr;
             ++writebacks;
         }
-        _tags.install(addr, is_store);
+        _tags.install(addr, is_store, p);
         return res;
     }
 

@@ -10,6 +10,15 @@
  *
  * Supports direct-mapped (ways == 1, the paper's default) and
  * set-associative (§V-F) organizations with LRU replacement.
+ *
+ * Two access styles:
+ *  - address-based (`peek` / `touch` / `markDirty` / `install`): each
+ *    call re-searches the set; convenient for cold paths and tests.
+ *  - probe-handle (`probe` returning a Probe, then the Probe-taking
+ *    overloads): one associative search serves the entire access; the
+ *    hot path in SramCache and DramCacheCtrl::resolveTags uses this.
+ * Both styles produce identical functional behaviour and identical
+ * LRU-clock sequencing.
  */
 
 #ifndef TSIM_TDRAM_TAG_ARRAY_HH
@@ -39,6 +48,19 @@ class TagArray
 {
   public:
     /**
+     * Handle from one associative lookup, reusable for the follow-up
+     * mutation of the same access (touch / markDirty / install)
+     * without re-searching the set. Valid until the next mutation of
+     * this TagArray through any other handle or address.
+     */
+    struct Probe
+    {
+        TagResult result;        ///< identical to what peek() returns
+        std::uint64_t set = 0;
+        unsigned way = 0;        ///< hit way on a hit, victim way else
+    };
+
+    /**
      * @param capacity_bytes Cache data capacity.
      * @param ways           Associativity (1 = direct-mapped).
      */
@@ -65,32 +87,81 @@ class TagArray
     }
 
     /**
-     * Look up @p addr without changing any state.
-     *
-     * On a miss, victimAddr/valid/dirty describe the LRU way that an
-     * install would evict. This is what the in-DRAM comparator (TDRAM)
-     * or the controller-side compare (others) observes.
+     * One associative search of @p addr's set without changing any
+     * state. On a miss, the handle's way is the LRU victim way (an
+     * invalid way wins outright) and result.victimAddr/valid/dirty
+     * describe the line an install would evict — what the in-DRAM
+     * comparator (TDRAM) or controller-side compare (others) observes.
      */
-    TagResult
-    peek(Addr addr) const
+    Probe
+    probe(Addr addr) const
     {
-        TagResult r;
+        Probe p;
         const std::uint64_t set = setIndex(addr);
+        const Addr want = tagOf(addr);
+        p.set = set;
+        const Entry *base = &_entries[set * _ways];
+        unsigned victim = 0;
+        bool invalidFound = false;
         for (unsigned w = 0; w < _ways; ++w) {
-            const Entry &e = entry(set, w);
-            if (e.valid && e.tag == tagOf(addr)) {
-                r.hit = true;
-                r.valid = true;
-                r.dirty = e.dirty;
-                r.victimAddr = addr;
-                return r;
+            const Entry &e = base[w];
+            if (e.valid() && e.tag() == want) {
+                p.way = w;
+                p.result.hit = true;
+                p.result.valid = true;
+                p.result.dirty = e.dirty();
+                p.result.victimAddr = addr;
+                return p;
+            }
+            if (!invalidFound) {
+                if (!e.valid()) {
+                    invalidFound = true;
+                    victim = w;
+                } else if (e.lru < base[victim].lru) {
+                    victim = w;
+                }
             }
         }
-        const Entry &victim = entry(set, victimWay(set));
-        r.valid = victim.valid;
-        r.dirty = victim.valid && victim.dirty;
-        r.victimAddr = victim.valid ? rebuildAddr(set, victim.tag) : 0;
-        return r;
+        const Entry &v = base[victim];
+        p.way = victim;
+        p.result.valid = v.valid();
+        p.result.dirty = v.valid() && v.dirty();
+        p.result.victimAddr = v.valid() ? rebuildAddr(set, v.tag()) : 0;
+        return p;
+    }
+
+    /** Look up @p addr without changing any state. */
+    TagResult peek(Addr addr) const { return probe(addr).result; }
+
+    /** Touch LRU state on a hit (no-op if the probe missed). */
+    void
+    touch(const Probe &p)
+    {
+        if (p.result.hit)
+            entryAt(p).lru = ++_clock;
+    }
+
+    /** Mark the probed line dirty (write hit). Panics on a miss. */
+    void
+    markDirty(const Probe &p)
+    {
+        panic_if(!p.result.hit, "markDirty on non-resident line");
+        Entry &e = entryAt(p);
+        e.setDirty(true);
+        e.lru = ++_clock;
+    }
+
+    /**
+     * Install @p addr into the probed way (the hit way when resident,
+     * else the LRU victim) and set its dirty bit. @p p must come from
+     * probing the same @p addr.
+     */
+    void
+    install(Addr addr, bool dirty, const Probe &p)
+    {
+        Entry &e = entryAt(p);
+        e.assign(tagOf(addr), dirty);
+        e.lru = ++_clock;
     }
 
     /**
@@ -100,14 +171,7 @@ class TagArray
     void
     install(Addr addr, bool dirty)
     {
-        const std::uint64_t set = setIndex(addr);
-        Entry *slot = find(addr);
-        if (!slot)
-            slot = &entry(set, victimWay(set));
-        slot->valid = true;
-        slot->tag = tagOf(addr);
-        slot->dirty = dirty;
-        slot->lru = ++_clock;
+        install(addr, dirty, probe(addr));
     }
 
     /** Mark a resident line dirty (write hit). Panics if absent. */
@@ -117,7 +181,7 @@ class TagArray
         Entry *e = find(addr);
         panic_if(!e, "markDirty on non-resident line %llx",
                  (unsigned long long)addr);
-        e->dirty = true;
+        e->setDirty(true);
         e->lru = ++_clock;
     }
 
@@ -126,7 +190,7 @@ class TagArray
     markClean(Addr addr)
     {
         if (Entry *e = find(addr))
-            e->dirty = false;
+            e->setDirty(false);
     }
 
     /** Touch LRU state on a hit. */
@@ -142,7 +206,7 @@ class TagArray
     invalidate(Addr addr)
     {
         if (Entry *e = find(addr))
-            e->valid = false;
+            e->setValid(false);
     }
 
     /** True if the line is resident. */
@@ -154,17 +218,32 @@ class TagArray
     {
         std::uint64_t n = 0;
         for (const auto &e : _entries)
-            n += e.valid;
+            n += e.valid();
         return n;
     }
 
   private:
+    /**
+     * Packed way metadata: tag, dirty and valid share one word so a
+     * set scan touches 16 B/way instead of 24 and the compare is one
+     * load + mask. Line tags are addr/lineBytes/sets <= 2^58, so two
+     * flag bits always fit.
+     */
     struct Entry
     {
-        Addr tag = 0;
-        bool valid = false;
-        bool dirty = false;
+        std::uint64_t meta = 0;  ///< tag << 2 | dirty << 1 | valid
         std::uint64_t lru = 0;
+
+        bool valid() const { return meta & 1; }
+        bool dirty() const { return meta & 2; }
+        Addr tag() const { return meta >> 2; }
+        void setDirty(bool d) { meta = d ? meta | 2 : meta & ~2ull; }
+        void setValid(bool v) { meta = v ? meta | 1 : meta & ~1ull; }
+        void
+        assign(Addr tag, bool dirty)
+        {
+            meta = (tag << 2) | (dirty ? 2u : 0u) | 1u;
+        }
     };
 
     Addr tagOf(Addr addr) const { return (addr / lineBytes) / _sets; }
@@ -175,38 +254,20 @@ class TagArray
         return (tag * _sets + set) * lineBytes;
     }
 
-    Entry &entry(std::uint64_t set, unsigned way)
+    Entry &entryAt(const Probe &p)
     {
-        return _entries[set * _ways + way];
-    }
-
-    const Entry &entry(std::uint64_t set, unsigned way) const
-    {
-        return _entries[set * _ways + way];
-    }
-
-    /** LRU victim way of a set (an invalid way wins outright). */
-    unsigned
-    victimWay(std::uint64_t set) const
-    {
-        unsigned best = 0;
-        for (unsigned w = 0; w < _ways; ++w) {
-            const Entry &e = entry(set, w);
-            if (!e.valid)
-                return w;
-            if (e.lru < entry(set, best).lru)
-                best = w;
-        }
-        return best;
+        return _entries[p.set * _ways + p.way];
     }
 
     Entry *
     find(Addr addr)
     {
         const std::uint64_t set = setIndex(addr);
+        const Addr want = tagOf(addr);
+        Entry *base = &_entries[set * _ways];
         for (unsigned w = 0; w < _ways; ++w) {
-            Entry &e = entry(set, w);
-            if (e.valid && e.tag == tagOf(addr))
+            Entry &e = base[w];
+            if (e.valid() && e.tag() == want)
                 return &e;
         }
         return nullptr;
