@@ -1,0 +1,446 @@
+/**
+ * @file
+ * Front-end microbenchmark: end-to-end retired-ops/sec and heap
+ * allocations per op for the production zero-alloc controller/core
+ * front end versus the frozen pre-rewrite front end
+ * (tests/legacy_frontend.*), each driving the same production
+ * DramChannel back-end with the same workload generator stream.
+ *
+ * Both stacks simulate the identical mini system (cores + L1s + LLC
+ * + DRAM-cache controller + DDR5 main memory); the run FAILS
+ * (nonzero exit) unless their full stats dumps and finish ticks
+ * produce the same checksum, so this binary doubles as the
+ * old-vs-new front-end cross-check that ctest's perf-smoke label
+ * runs. The speedup and allocs-per-op gates on the emitted JSON are
+ * enforced by CI (see .github/workflows/ci.yml).
+ *
+ * Emits BENCH_frontend.json (override with --out FILE).
+ *
+ * Usage: micro_frontend [--ops N] [--warmup N] [--cores N]
+ *                       [--workload NAME] [--seed N] [--reps N]
+ *                       [--min-time SECS] [--out FILE]
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dcache/dram_cache.hh"
+#include "dram/main_memory.hh"
+#include "dram/timing.hh"
+#include "legacy_frontend.hh"
+#include "sim/event_queue.hh"
+#include "stats/stats.hh"
+#include "workload/core_engine.hh"
+#include "workload/profiles.hh"
+
+// ---------------------------------------------------------------------
+// Global allocation counter. Counts every operator new in the
+// process; the harness reads deltas around the measured region.
+// ---------------------------------------------------------------------
+
+namespace
+{
+std::atomic<std::uint64_t> g_allocCount{0};
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                     size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete(void *p, std::align_val_t) noexcept { std::free(p); }
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+namespace
+{
+
+using namespace tsim;
+
+std::uint64_t
+fnv(std::uint64_t h, std::uint64_t v)
+{
+    return (h ^ v) * 1099511628211ULL;
+}
+
+std::uint64_t
+pow2Ceil(std::uint64_t v)
+{
+    std::uint64_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+/**
+ * Benchmark-wide system shape: small and front-end bound. bt.C is
+ * the low-miss-ratio representative — most ops are served by the
+ * SRAM hierarchy and the controller fast path, which is exactly the
+ * code the zero-alloc rewrite targets; high-miss workloads shift the
+ * host time into the (shared, unchanged) channel back-end and
+ * measure that instead.
+ */
+struct BenchCfg
+{
+    std::uint64_t opsPerCore = 30000;
+    std::uint64_t warmupOpsPerCore = 60000;
+    unsigned cores = 4;
+    std::uint64_t seed = 1;
+    std::string workload = "bt.C";
+
+    std::uint64_t dcacheCapacity = 4ULL << 20;
+    unsigned dcacheChannels = 2;
+    unsigned dcacheBanks = 8;
+    unsigned mmChannels = 1;
+};
+
+/** The designs the frozen front end implements. */
+struct DesignCase
+{
+    const char *name;
+    Design design;
+};
+
+constexpr DesignCase kDesigns[] = {
+    {"cascadelake", Design::CascadeLake},
+    {"ndc", Design::Ndc},
+    {"tdram", Design::Tdram},
+};
+
+/**
+ * Frozen-front-end twin of src/dcache/factory.cc for the designs
+ * above. Controller names match the production factory so both
+ * stacks register byte-identical stat names.
+ */
+std::unique_ptr<legacyfe::DramCacheCtrl>
+makeLegacyCtrl(EventQueue &eq, Design design,
+               const DramCacheConfig &cfg, legacyfe::MainMemory &mm)
+{
+    DramCacheConfig c = cfg;
+    c.timing = hbm3CacheTimings();
+    const std::string n = std::string("dcache.") + designName(design);
+    switch (design) {
+      case Design::CascadeLake:
+        return std::make_unique<legacyfe::CascadeLakeCtrl>(eq, n, c, mm);
+      case Design::Ndc:
+        return std::make_unique<legacyfe::NdcCtrl>(eq, n, c, mm);
+      case Design::Tdram:
+        return std::make_unique<legacyfe::TdramCtrl>(eq, n, c, mm,
+                                                     true);
+      default:
+        panic("design not in the frozen front-end snapshot");
+    }
+}
+
+/** Production front end. */
+struct FastStack
+{
+    using MainMemoryT = MainMemory;
+    using CtrlT = DramCacheCtrl;
+    using EngineT = CoreEngine;
+
+    static std::unique_ptr<CtrlT>
+    makeCtrl(EventQueue &eq, Design d, const DramCacheConfig &cfg,
+             MainMemoryT &mm)
+    {
+        return makeDramCache(eq, d, cfg, mm);
+    }
+};
+
+/** Frozen pre-rewrite front end (tests/legacy_frontend.*). */
+struct LegacyStack
+{
+    using MainMemoryT = legacyfe::MainMemory;
+    using CtrlT = legacyfe::DramCacheCtrl;
+    using EngineT = legacyfe::CoreEngine;
+
+    static std::unique_ptr<CtrlT>
+    makeCtrl(EventQueue &eq, Design d, const DramCacheConfig &cfg,
+             MainMemoryT &mm)
+    {
+        return makeLegacyCtrl(eq, d, cfg, mm);
+    }
+};
+
+struct Measurement
+{
+    double opsPerSec = 0;
+    double allocsPerOp = 0;
+    std::uint64_t checksum = 0;
+};
+
+/**
+ * Build one mini system on @p Stack, warm it up, run it to
+ * completion, and measure the timed region (start() through the last
+ * in-flight demand). The checksum folds the finish tick plus the
+ * full stats dump of every component, so any behavioural divergence
+ * between the two front ends changes it.
+ */
+template <typename Stack>
+Measurement
+drive(const DesignCase &dc, const BenchCfg &bc)
+{
+    const WorkloadProfile &wl = findWorkload(bc.workload);
+
+    EventQueue eq;
+
+    MainMemoryConfig mm_cfg;
+    mm_cfg.channels = bc.mmChannels;
+    mm_cfg.capacityBytes = std::max<std::uint64_t>(
+        pow2Ceil(physicalSpaceBytes(wl, bc.dcacheCapacity)), 1 << 26);
+    typename Stack::MainMemoryT mm(eq, "mm", mm_cfg);
+
+    DramCacheConfig dc_cfg;
+    dc_cfg.capacityBytes = bc.dcacheCapacity;
+    dc_cfg.channels = bc.dcacheChannels;
+    dc_cfg.banks = bc.dcacheBanks;
+    std::unique_ptr<typename Stack::CtrlT> ctrl =
+        Stack::makeCtrl(eq, dc.design, dc_cfg, mm);
+
+    CoreConfig core_cfg;
+    core_cfg.cores = bc.cores;
+    core_cfg.opsPerCore = bc.opsPerCore;
+    std::vector<std::unique_ptr<AddressGenerator>> gens;
+    for (unsigned c = 0; c < bc.cores; ++c)
+        gens.push_back(
+            makeGenerator(wl, c, bc.cores, bc.dcacheCapacity));
+    typename Stack::EngineT engine(eq, "engine", core_cfg,
+                                   std::move(gens), *ctrl, bc.seed);
+
+    engine.warmup(bc.warmupOpsPerCore);
+
+    // Timed region: issue through drain, warmup and construction
+    // excluded from both stacks alike.
+    const std::uint64_t allocs0 =
+        g_allocCount.load(std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    engine.start();
+    const Tick max_runtime = nsToTicks(2.0e9);
+    while (!engine.done() || ctrl->inFlightDemands() > 0) {
+        if (!eq.step()) {
+            std::fprintf(stderr,
+                         "FAIL: %s event queue drained before the "
+                         "workload finished\n",
+                         dc.name);
+            std::exit(1);
+        }
+        if (eq.curTick() > max_runtime) {
+            std::fprintf(stderr, "FAIL: %s run exceeded maxRuntime\n",
+                         dc.name);
+            std::exit(1);
+        }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const std::uint64_t allocs1 =
+        g_allocCount.load(std::memory_order_relaxed);
+
+    std::uint64_t checksum = 14695981039346656037ULL;
+    checksum = fnv(checksum, engine.finishTick());
+    StatGroup g("system");
+    ctrl->regStats(g);
+    mm.regStats(g);
+    engine.regStats(g);
+    std::ostringstream os;
+    g.dump(os);
+    for (char c : os.str())
+        checksum = fnv(checksum, static_cast<unsigned char>(c));
+
+    const double ops =
+        static_cast<double>(bc.opsPerCore) * bc.cores;
+    Measurement m;
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    m.opsPerSec = ops / secs;
+    m.allocsPerOp = static_cast<double>(allocs1 - allocs0) / ops;
+    m.checksum = checksum;
+    return m;
+}
+
+/**
+ * Repeat until both @p reps runs and @p min_time measured seconds
+ * are reached; keep the fastest (throughput noise is one-sided). A
+ * checksum change between repetitions is host non-determinism and
+ * aborts the benchmark.
+ */
+template <typename Stack>
+Measurement
+measureBest(const DesignCase &dc, const BenchCfg &bc, unsigned reps,
+            double min_time)
+{
+    Measurement best;
+    double spent = 0;
+    const double ops =
+        static_cast<double>(bc.opsPerCore) * bc.cores;
+    for (unsigned i = 0; i < reps || spent < min_time; ++i) {
+        const Measurement m = drive<Stack>(dc, bc);
+        spent += ops / m.opsPerSec;
+        if (i > 0 && m.checksum != best.checksum) {
+            std::fprintf(stderr,
+                         "FAIL: %s rep %u changed the checksum "
+                         "(%llx vs %llx)\n",
+                         dc.name, i, (unsigned long long)m.checksum,
+                         (unsigned long long)best.checksum);
+            std::exit(1);
+        }
+        if (i == 0 || m.opsPerSec > best.opsPerSec)
+            best = m;
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchCfg bc;
+    unsigned reps = 2;
+    double min_time = 0;
+    std::string out = "BENCH_frontend.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
+            bc.opsPerCore = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--warmup") == 0 &&
+                   i + 1 < argc) {
+            bc.warmupOpsPerCore =
+                std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--cores") == 0 &&
+                   i + 1 < argc) {
+            bc.cores = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--workload") == 0 &&
+                   i + 1 < argc) {
+            bc.workload = argv[++i];
+        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            bc.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--reps") == 0 &&
+                   i + 1 < argc) {
+            reps = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--min-time") == 0 &&
+                   i + 1 < argc) {
+            min_time = std::strtod(argv[++i], nullptr);
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out = argv[++i];
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: %s [--ops N] [--warmup N] [--cores N] "
+                "[--workload NAME] [--seed N] [--reps N] "
+                "[--min-time SECS] [--out FILE]\n",
+                argv[0]);
+            return 1;
+        }
+    }
+    if (bc.opsPerCore == 0 || bc.cores == 0 || reps == 0) {
+        std::fprintf(stderr,
+                     "--ops, --cores, and --reps must be > 0\n");
+        return 1;
+    }
+
+    std::string kinds_json;
+    double speedup_product = 1.0;
+    unsigned nkinds = 0;
+    bool mismatch = false;
+
+    for (const auto &dc : kDesigns) {
+        const std::uint64_t fallbacks0 =
+            tsim::InlineFunction::heapFallbacks();
+        const Measurement fast =
+            measureBest<FastStack>(dc, bc, reps, min_time);
+        const std::uint64_t fast_fallbacks =
+            tsim::InlineFunction::heapFallbacks() - fallbacks0;
+        const Measurement legacy =
+            measureBest<LegacyStack>(dc, bc, reps, min_time);
+
+        if (fast.checksum != legacy.checksum) {
+            std::fprintf(stderr,
+                         "FAIL: %s front ends diverged "
+                         "(checksum %llx vs %llx)\n",
+                         dc.name, (unsigned long long)fast.checksum,
+                         (unsigned long long)legacy.checksum);
+            mismatch = true;
+        }
+
+        const double speedup = fast.opsPerSec / legacy.opsPerSec;
+        speedup_product *= speedup;
+        ++nkinds;
+        std::printf("%-12s fast %9.0f ops/s  %.4f allocs/op  "
+                    "| legacy %9.0f ops/s  %.4f allocs/op  "
+                    "| %.2fx  (%llu SBO fallbacks)\n",
+                    dc.name, fast.opsPerSec, fast.allocsPerOp,
+                    legacy.opsPerSec, legacy.allocsPerOp, speedup,
+                    (unsigned long long)fast_fallbacks);
+
+        char buf[512];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s    {\n"
+            "      \"kind\": \"%s\",\n"
+            "      \"fast\": {\"req_per_sec\": %.0f, "
+            "\"allocs_per_req\": %.6f, \"sbo_heap_fallbacks\": %llu},\n"
+            "      \"legacy\": {\"req_per_sec\": %.0f, "
+            "\"allocs_per_req\": %.6f},\n"
+            "      \"speedup\": %.3f,\n"
+            "      \"checksum_match\": %s\n"
+            "    }",
+            kinds_json.empty() ? "" : ",\n", dc.name, fast.opsPerSec,
+            fast.allocsPerOp, (unsigned long long)fast_fallbacks,
+            legacy.opsPerSec, legacy.allocsPerOp, speedup,
+            fast.checksum == legacy.checksum ? "true" : "false");
+        kinds_json += buf;
+    }
+
+    const double geomean =
+        std::exp(std::log(speedup_product) / nkinds);
+    std::printf("geomean speedup %.2fx\n", geomean);
+
+    if (std::FILE *f = std::fopen(out.c_str(), "w")) {
+        std::fprintf(f,
+                     "{\n"
+                     "  \"bench\": \"micro_frontend\",\n"
+                     "  \"workload\": \"%s\",\n"
+                     "  \"ops_per_core\": %llu,\n"
+                     "  \"cores\": %u,\n"
+                     "  \"seed\": %llu,\n"
+                     "  \"kinds\": [\n%s\n  ],\n"
+                     "  \"geomean_speedup\": %.3f\n"
+                     "}\n",
+                     bc.workload.c_str(),
+                     (unsigned long long)bc.opsPerCore, bc.cores,
+                     (unsigned long long)bc.seed, kinds_json.c_str(),
+                     geomean);
+        std::fclose(f);
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", out.c_str());
+        return 1;
+    }
+    return mismatch ? 1 : 0;
+}

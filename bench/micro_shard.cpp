@@ -178,6 +178,11 @@ main(int argc, char **argv)
         }
     }
 
+    // With one host core the worker threads time-slice instead of
+    // running in parallel, so speedup/efficiency would measure the
+    // scheduler, not the shard engine: report them as n/a (JSON null)
+    // and let consumers gate on checksum_match only.
+    const bool scaling_meaningful = host_cores > 1;
     std::string entries;
     for (std::size_t i = 0; i < ms.size(); ++i) {
         const double speedup =
@@ -185,22 +190,39 @@ main(int argc, char **argv)
                 ? ms[i].eventsPerSec / ms[0].eventsPerSec
                 : 0.0;
         const double efficiency = speedup / thread_counts[i];
-        std::printf("threads=%u  %12.0f events/s  %9.0f req/s  "
-                    "%.2fx vs 1T  (%.0f%% efficiency)\n",
-                    thread_counts[i], ms[i].eventsPerSec,
-                    ms[i].reqPerSec, speedup, efficiency * 100);
+        if (scaling_meaningful) {
+            std::printf("threads=%u  %12.0f events/s  %9.0f req/s  "
+                        "%.2fx vs 1T  (%.0f%% efficiency)\n",
+                        thread_counts[i], ms[i].eventsPerSec,
+                        ms[i].reqPerSec, speedup, efficiency * 100);
+        } else {
+            std::printf("threads=%u  %12.0f events/s  %9.0f req/s  "
+                        "(scaling n/a: 1 host core)\n",
+                        thread_counts[i], ms[i].eventsPerSec,
+                        ms[i].reqPerSec);
+        }
+        char scaling_fields[96];
+        if (scaling_meaningful) {
+            std::snprintf(scaling_fields, sizeof(scaling_fields),
+                          "\"speedup_vs_1\": %.3f,\n"
+                          "      \"efficiency\": %.3f",
+                          speedup, efficiency);
+        } else {
+            std::snprintf(scaling_fields, sizeof(scaling_fields),
+                          "\"speedup_vs_1\": null,\n"
+                          "      \"efficiency\": null");
+        }
         char buf[512];
         std::snprintf(buf, sizeof(buf),
                       "%s    {\n"
                       "      \"threads\": %u,\n"
                       "      \"events_per_sec\": %.0f,\n"
                       "      \"req_per_sec\": %.0f,\n"
-                      "      \"speedup_vs_1\": %.3f,\n"
-                      "      \"efficiency\": %.3f\n"
+                      "      %s\n"
                       "    }",
                       entries.empty() ? "" : ",\n", thread_counts[i],
-                      ms[i].eventsPerSec, ms[i].reqPerSec, speedup,
-                      efficiency);
+                      ms[i].eventsPerSec, ms[i].reqPerSec,
+                      scaling_fields);
         entries += buf;
     }
     std::printf("checksums %s, host has %u core(s)\n",

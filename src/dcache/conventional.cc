@@ -46,7 +46,7 @@ CascadeLakeCtrl::startAccess(const TxnPtr &txn)
         ++predictedMiss;
         txn->mmStarted = true;
         mmRead(addr,
-               [this, txn](Tick t) { mmDataArrived(txn, t); });
+               [this, txn = txn](Tick t) { mmDataArrived(txn, t); });
     }
 
     ChanReq req;
@@ -55,7 +55,7 @@ CascadeLakeCtrl::startAccess(const TxnPtr &txn)
     req.addr = addr;
     req.op = ChanOp::Read;
     req.isDemandRead = is_read;
-    req.onDataDone = [this, txn](Tick t) { tagDataArrived(txn, t); };
+    req.onDataDone = [this, txn = txn](Tick t) { tagDataArrived(txn, t); };
     enqueueChan(std::move(req), false);
 }
 
@@ -101,7 +101,7 @@ CascadeLakeCtrl::tagDataArrived(const TxnPtr &txn, Tick t)
         } else if (!txn->mmStarted) {
             txn->mmStarted = true;
             mmRead(addr,
-                   [this, txn](Tick t2) { mmDataArrived(txn, t2); });
+                   [this, txn = txn](Tick t2) { mmDataArrived(txn, t2); });
         }
         return;
     }
@@ -165,7 +165,7 @@ BearCtrl::startAccess(const TxnPtr &txn)
         resolveTags(txn, curTick(), /*sample_latency=*/false);
         issueDemandWrite(txn);
         _eq.scheduleIn(_cfg.ctrlLatency,
-                       [this, txn] { finish(txn, curTick()); });
+                       [this, txn = txn] { finish(txn, curTick()); });
         return;
     }
     CascadeLakeCtrl::startAccess(txn);

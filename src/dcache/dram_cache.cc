@@ -78,6 +78,22 @@ DramCacheCtrl::DramCacheCtrl(EventQueue &eq, std::string name,
     }
 }
 
+DramCacheCtrl::~DramCacheCtrl()
+{
+    // The intrusive MSHR FIFOs own one reference per linked Txn;
+    // release them so mid-flight teardown (unit tests) doesn't leak
+    // pool slots.
+    _setQueues.forEach([](std::uint64_t, SetFifo &q) {
+        Txn *t = q.head;
+        while (t) {
+            Txn *next = t->setNext;
+            TxnPtr::adopt(t);
+            t = next;
+        }
+        q.head = q.tail = nullptr;
+    });
+}
+
 bool
 DramCacheCtrl::canAccept(const MemPacket &pkt) const
 {
@@ -102,18 +118,11 @@ DramCacheCtrl::access(MemPacket pkt, RespCallback cb)
 {
     pkt.addr = lineAlign(pkt.addr);
     pkt.created = curTick();
-    if (pkt.cmd == MemCmd::Read)
-        ++demandReads;
-    else
-        ++demandWrites;
-    TSIM_TRACE_EVENT(traceBuf, TraceKind::DemandStart, pkt.created,
-                     pkt.addr, traceBankNone, 0,
-                     pkt.cmd == MemCmd::Write ? 1u : 0u);
-    TSIM_CHECK_EVENT(checker, checkChannel, TraceKind::DemandStart,
-                     pkt.created, pkt.addr, traceBankNone, 0,
-                     pkt.cmd == MemCmd::Write ? 1u : 0u);
+    emit(*this, DemandStartEv{
+        .tick = pkt.created, .addr = pkt.addr, .bank = traceBankNone,
+        .aux = 0, .extra = pkt.cmd == MemCmd::Write ? 1u : 0u});
 
-    auto txn = std::make_shared<Txn>();
+    TxnPtr txn = _txnPool.alloc();
     txn->pkt = pkt;
     txn->cb = std::move(cb);
     ++_inFlight;
@@ -125,13 +134,21 @@ DramCacheCtrl::access(MemPacket pkt, RespCallback cb)
     }
 
     const std::uint64_t set = _tags.setIndex(pkt.addr);
-    auto &q = _setQueues[set];
-    q.push_back(txn);
-    if (q.size() == 1) {
+    SetFifo &q = _setQueues[set];
+    const bool was_empty = q.head == nullptr;
+    Txn *raw = TxnPtr(txn).detach();  // the FIFO's own reference
+    raw->setNext = nullptr;
+    if (q.tail)
+        q.tail->setNext = raw;
+    else
+        q.head = raw;
+    q.tail = raw;
+    if (was_empty) {
         beginTxn(txn);
     } else {
         ++_waiting;
-        _conflictOcc.sample(static_cast<double>(_waiting));
+        emit(*this, ConflictQueuedEv{
+            .occupancy = static_cast<double>(_waiting)});
     }
 }
 
@@ -139,17 +156,17 @@ void
 DramCacheCtrl::warmAccess(Addr addr, bool is_write)
 {
     addr = lineAlign(addr);
-    const TagResult tr = _tags.peek(addr);
+    const TagArray::Probe p = _tags.probe(addr);
     if (is_write) {
-        if (tr.hit)
-            _tags.markDirty(addr);
+        if (p.result.hit)
+            _tags.markDirty(p);
         else
-            _tags.install(addr, true);
+            _tags.install(addr, true, p);
     } else {
-        if (tr.hit)
-            _tags.touch(addr);
+        if (p.result.hit)
+            _tags.touch(p);
         else
-            _tags.install(addr, false);
+            _tags.install(addr, false, p);
     }
 }
 
@@ -179,7 +196,7 @@ DramCacheCtrl::tryFastPath(const TxnPtr &txn)
         ++outcomes[static_cast<unsigned>(o)];
         _tags.touch(addr);
         const Tick done = curTick() + _cfg.ctrlLatency;
-        _eq.schedule(done, [this, txn, done] { finish(txn, done); });
+        _eq.schedule(done, [this, txn = txn, done] { finish(txn, done); });
         return true;
     }
 
@@ -193,7 +210,7 @@ DramCacheCtrl::tryFastPath(const TxnPtr &txn)
         txn->pkt.outcome = o;
         ++outcomes[static_cast<unsigned>(o)];
         const Tick done = curTick() + _cfg.ctrlLatency;
-        _eq.schedule(done, [this, txn, done] { finish(txn, done); });
+        _eq.schedule(done, [this, txn = txn, done] { finish(txn, done); });
         return true;
     }
 
@@ -214,7 +231,8 @@ DramCacheCtrl::resolveTags(const TxnPtr &txn, Tick when,
 
     const Addr addr = txn->pkt.addr;
     const bool is_read = txn->pkt.cmd == MemCmd::Read;
-    const TagResult tr = _tags.peek(addr);
+    const TagArray::Probe probe = _tags.probe(addr);
+    const TagResult &tr = probe.result;
     txn->tr = tr;
 
     AccessOutcome o;
@@ -241,7 +259,7 @@ DramCacheCtrl::resolveTags(const TxnPtr &txn, Tick when,
     // demands allocate immediately (insert-on-miss, write-allocate).
     if (is_read) {
         if (tr.hit) {
-            _tags.touch(addr);
+            _tags.touch(probe);
             if (!_prefetched.empty() && _prefetched.erase(addr))
                 ++prefetchUseful;
         } else if (_cfg.prefetchDegree > 0) {
@@ -249,17 +267,19 @@ DramCacheCtrl::resolveTags(const TxnPtr &txn, Tick when,
         }
     } else {
         if (tr.hit)
-            _tags.markDirty(addr);
+            _tags.markDirty(probe);
         else
-            _tags.install(addr, true);
+            _tags.install(addr, true, probe);
     }
 
     txn->pkt.tagDone = when;
     // Fig 9's tag-check latency is the latency-critical read-side
     // metric (it bounds the LLC miss penalty); write-side checks
     // influence it only through the queue contention they create.
-    if (sample_latency && is_read)
-        tagCheckLatency.sample(ticksToNs(when - txn->pkt.tagIssued));
+    if (sample_latency && is_read) {
+        emit(*this, TagResolvedEv{
+            .latencyNs = ticksToNs(when - txn->pkt.tagIssued)});
+    }
 }
 
 void
@@ -271,16 +291,12 @@ DramCacheCtrl::respond(const TxnPtr &txn, Tick when)
     panic_if(_inFlight == 0, "demand response without an open demand");
     --_inFlight;
     txn->pkt.completed = when;
-    TSIM_TRACE_EVENT(traceBuf, TraceKind::DemandDone, when,
-                     txn->pkt.addr, traceBankNone,
-                     when - txn->pkt.created,
-                     static_cast<std::uint32_t>(txn->pkt.outcome));
-    TSIM_CHECK_EVENT(checker, checkChannel, TraceKind::DemandDone, when,
-                     txn->pkt.addr, traceBankNone,
-                     when - txn->pkt.created,
-                     static_cast<std::uint32_t>(txn->pkt.outcome));
-    if (txn->pkt.cmd == MemCmd::Read)
-        readLatency.sample(ticksToNs(when - txn->pkt.created));
+    emit(*this, DemandDoneEv{
+        .tick = when, .addr = txn->pkt.addr, .bank = traceBankNone,
+        .aux = when - txn->pkt.created,
+        .extra = static_cast<std::uint32_t>(txn->pkt.outcome),
+        .isRead = txn->pkt.cmd == MemCmd::Read,
+        .latencyNs = ticksToNs(when - txn->pkt.created)});
     if (txn->cb)
         txn->cb(txn->pkt);
 }
@@ -291,16 +307,22 @@ DramCacheCtrl::release(const TxnPtr &txn)
     if (!usesMshr())
         return;
     const std::uint64_t set = _tags.setIndex(txn->pkt.addr);
-    auto it = _setQueues.find(set);
-    panic_if(it == _setQueues.end() || it->second.empty() ||
-                 it->second.front() != txn,
+    SetFifo *q = _setQueues.find(set);
+    panic_if(!q || q->head != txn.get(),
              "MSHR bookkeeping out of sync");
-    it->second.pop_front();
-    if (it->second.empty()) {
-        _setQueues.erase(it);
+    Txn *head = q->head;
+    q->head = head->setNext;
+    head->setNext = nullptr;
+    if (!q->head)
+        q->tail = nullptr;
+    // The FIFO's reference to the departing head dies with this scope.
+    const TxnPtr departing = TxnPtr::adopt(head);
+    if (!q->head) {
+        _setQueues.erase(set);
     } else {
         --_waiting;
-        beginTxn(it->second.front());
+        const TxnPtr next = TxnPtr::share(q->head);
+        beginTxn(next);
     }
 }
 
@@ -365,13 +387,13 @@ DramCacheCtrl::maybePrefetch(Addr addr)
         const TagResult tr = _tags.peek(p);
         if (tr.hit || (tr.valid && tr.dirty))
             continue;
-        if (_setQueues.count(_tags.setIndex(p)))
+        if (_setQueues.contains(_tags.setIndex(p)))
             continue;
         _prefetched.insert(p);
         ++prefetchIssued;
         mmRead(p, [this, p](Tick) {
             // Re-validate: a demand may have raced us here.
-            if (_setQueues.count(_tags.setIndex(p))) {
+            if (_setQueues.contains(_tags.setIndex(p))) {
                 _prefetched.erase(p);
                 return;
             }
@@ -388,13 +410,13 @@ DramCacheCtrl::maybePrefetch(Addr addr)
 void
 DramCacheCtrl::removePendingWrite(Addr addr)
 {
-    auto it = _pendingWrites.find(addr);
-    if (it != _pendingWrites.end() && --it->second == 0)
-        _pendingWrites.erase(it);
+    unsigned *n = _pendingWrites.find(addr);
+    if (n && --*n == 0)
+        _pendingWrites.erase(addr);
 }
 
 void
-DramCacheCtrl::mmRead(Addr addr, std::function<void(Tick)> cb)
+DramCacheCtrl::mmRead(Addr addr, MmReadCb cb)
 {
     _mm.read(addr, std::move(cb));
 }
@@ -456,22 +478,26 @@ DramCacheCtrl::dumpDebug(std::FILE *f) const
     std::fprintf(f, "%s: waiting=%u activeSets=%zu pendingWr=%zu\n",
                  name().c_str(), _waiting, _setQueues.size(),
                  _pendingWrites.size());
-    for (const auto &[set, q] : _setQueues) {
-        const auto &t = q.front();
+    std::size_t shown = 0;
+    _setQueues.forEach([&](std::uint64_t set, const SetFifo &q) {
+        if (shown++ >= 8)
+            return;
+        std::size_t depth = 0;
+        for (const Txn *n = q.head; n; n = n->setNext)
+            ++depth;
+        const Txn *t = q.head;
         std::fprintf(f,
                      "  set %llu: depth=%zu front{id=%llu addr=%llx "
                      "%s resolved=%d finished=%d mmStarted=%d "
                      "mmDataAt=%llu victimDone=%d fillIssued=%d}\n",
-                     (unsigned long long)set, q.size(),
+                     (unsigned long long)set, depth,
                      (unsigned long long)t->pkt.id,
                      (unsigned long long)t->pkt.addr,
                      t->pkt.cmd == MemCmd::Read ? "R" : "W",
                      t->tagResolved, t->finished, t->mmStarted,
                      (unsigned long long)t->mmDataAt, t->victimDone,
                      t->fillIssued);
-        if (_setQueues.size() > 8)
-            break;
-    }
+    });
     for (const auto &ch : _chans) {
         std::fprintf(f, "  %s: readQ=%zu writeQ=%zu flush=%u\n",
                      ch->name().c_str(), ch->readQSize(),

@@ -17,10 +17,8 @@
 #ifndef TSIM_DCACHE_DRAM_CACHE_HH
 #define TSIM_DCACHE_DRAM_CACHE_HH
 
-#include <deque>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -28,6 +26,8 @@
 #include "dram/main_memory.hh"
 #include "mem/types.hh"
 #include "sim/event_queue.hh"
+#include "sim/open_map.hh"
+#include "sim/slab_pool.hh"
 #include "stats/stats.hh"
 #include "tdram/tag_array.hh"
 #include "trace/trace.hh"
@@ -100,7 +100,7 @@ class DramCacheCtrl : public SimObject
     DramCacheCtrl(EventQueue &eq, std::string name,
                   const DramCacheConfig &cfg, MainMemory &mm,
                   ChannelConfig chan_cfg);
-    ~DramCacheCtrl() override = default;
+    ~DramCacheCtrl() override;
 
     /** Admission control: false applies backpressure to the LLC. */
     bool canAccept(const MemPacket &pkt) const;
@@ -206,9 +206,85 @@ class DramCacheCtrl : public SimObject
      */
     std::uint64_t inFlightDemands() const { return _inFlight; }
 
+    /**
+     * @name Bus events (src/sim/event_bus.hh, DESIGN.md §13).
+     * Controller-level demand events plus stats-only occurrences;
+     * channel-level command events live on DramChannel.
+     */
+    /// @{
+    struct DemandStartEv
+    {
+        static constexpr TraceKind kind = TraceKind::DemandStart;
+        Tick tick;
+        Addr addr;
+        std::uint16_t bank;
+        std::uint64_t aux;
+        std::uint32_t extra;  ///< 1 = write demand
+
+        void
+        stats(DramCacheCtrl &c) const
+        {
+            if (extra)
+                ++c.demandWrites;
+            else
+                ++c.demandReads;
+        }
+    };
+
+    struct DemandDoneEv
+    {
+        static constexpr TraceKind kind = TraceKind::DemandDone;
+        Tick tick;
+        Addr addr;
+        std::uint16_t bank;
+        std::uint64_t aux;
+        std::uint32_t extra;  ///< AccessOutcome
+        bool isRead;
+        double latencyNs;
+
+        void
+        stats(DramCacheCtrl &c) const
+        {
+            if (isRead)
+                c.readLatency.sample(latencyNs);
+        }
+    };
+
+    /** Same-set conflict parked behind the MSHR FIFO head. */
+    struct ConflictQueuedEv
+    {
+        static constexpr bool traced = false;
+        double occupancy;  ///< waiting demands across all sets
+
+        void
+        stats(DramCacheCtrl &c) const
+        {
+            c._conflictOcc.sample(occupancy);
+        }
+    };
+
+    /** Read-side tag resolution completed (Fig 9 latency). */
+    struct TagResolvedEv
+    {
+        static constexpr bool traced = false;
+        double latencyNs;
+
+        void
+        stats(DramCacheCtrl &c) const
+        {
+            c.tagCheckLatency.sample(latencyNs);
+        }
+    };
+    /// @}
+
   protected:
-    /** One in-flight demand transaction. */
-    struct Txn
+    /**
+     * One in-flight demand transaction. Slab-pooled with an intrusive
+     * refcount (PoolItem) so the controller's hot path allocates
+     * nothing; setNext links same-set transactions into the MSHR's
+     * intrusive FIFO.
+     */
+    struct Txn : PoolItem<Txn>
     {
         MemPacket pkt;
         RespCallback cb;
@@ -220,8 +296,17 @@ class DramCacheCtrl : public SimObject
         bool fillIssued = false;
         TagResult tr{};
         std::uint64_t chanReqId = 0;
+        Txn *setNext = nullptr;  ///< next queued demand of the same set
     };
-    using TxnPtr = std::shared_ptr<Txn>;
+    /**
+     * Capture into callback lambdas with an init-capture
+     * (`txn = txn`), never `[this, txn]`: capturing a
+     * `const TxnPtr &` parameter by copy gives the closure a *const*
+     * PoolRef member, whose move degrades to the (refcounting) copy
+     * constructor and pushes the closure off InlineCallable's
+     * noexcept-move inline path onto the heap.
+     */
+    using TxnPtr = PoolRef<Txn>;
 
     /** Design-specific protocol flow for one demand. */
     virtual void startAccess(const TxnPtr &txn) = 0;
@@ -281,10 +366,10 @@ class DramCacheCtrl : public SimObject
     void removePendingWrite(Addr addr);
     bool isPendingWrite(Addr addr) const
     {
-        return _pendingWrites.count(addr) != 0;
+        return _pendingWrites.contains(addr);
     }
 
-    void mmRead(Addr addr, std::function<void(Tick)> cb);
+    void mmRead(Addr addr, MmReadCb cb);
     void mmWrite(Addr addr);
 
     /** Account one cache-DQ transfer into the three traffic classes. */
@@ -318,10 +403,21 @@ class DramCacheCtrl : public SimObject
     /** Issue next-line prefetches after a read miss (§V-D). */
     void maybePrefetch(Addr addr);
 
-    std::unordered_map<std::uint64_t, std::deque<TxnPtr>> _setQueues;
+    /**
+     * Intrusive per-set MSHR FIFO: head/tail of the Txn::setNext
+     * chain. The map holds one queue reference on every linked Txn.
+     */
+    struct SetFifo
+    {
+        Txn *head = nullptr;
+        Txn *tail = nullptr;
+    };
+
+    SlabPool<Txn> _txnPool;
+    OpenHashMap<SetFifo> _setQueues;
     unsigned _waiting = 0;  ///< conflicting-request buffer occupancy
     Histogram _conflictOcc{1.0, 40};
-    std::unordered_map<Addr, unsigned> _pendingWrites;
+    OpenHashMap<unsigned> _pendingWrites;
     std::unordered_set<Addr> _prefetched;  ///< awaiting first demand
     std::uint64_t _inFlight = 0;  ///< accepted, not yet responded
     std::uint64_t _nextChanId = 1;

@@ -52,10 +52,10 @@ InDramTagCtrl::startAccess(const TxnPtr &txn)
         req.addr = addr;
         req.op = ChanOp::ActRd;
         req.isDemandRead = true;
-        req.onTagResult = [this, txn](Tick t, const TagResult &tr) {
+        req.onTagResult = [this, txn = txn](Tick t, const TagResult &tr) {
             readTagResult(txn, t, tr);
         };
-        req.onDataDone = [this, txn](Tick t) { readDataDone(txn, t); };
+        req.onDataDone = [this, txn = txn](Tick t) { readDataDone(txn, t); };
         enqueueChan(std::move(req), false);
         return;
     }
@@ -68,7 +68,7 @@ InDramTagCtrl::startAccess(const TxnPtr &txn)
     txn->chanReqId = req.id;
     req.addr = addr;
     req.op = ChanOp::ActWr;
-    req.onTagResult = [this, txn](Tick t, const TagResult &) {
+    req.onTagResult = [this, txn = txn](Tick t, const TagResult &) {
         resolveTags(txn, t);
         finish(txn, t);
     };
@@ -102,7 +102,7 @@ InDramTagCtrl::readTagResult(const TxnPtr &txn, Tick t,
         if (!txn->mmStarted) {
             txn->mmStarted = true;
             mmRead(txn->pkt.addr,
-                   [this, txn](Tick t2) { mmDataArrived(txn, t2); });
+                   [this, txn = txn](Tick t2) { mmDataArrived(txn, t2); });
         }
         break;
       case AccessOutcome::ReadMissDirty:
@@ -112,7 +112,7 @@ InDramTagCtrl::readTagResult(const TxnPtr &txn, Tick t,
         if (!txn->mmStarted) {
             txn->mmStarted = true;
             mmRead(txn->pkt.addr,
-                   [this, txn](Tick t2) { mmDataArrived(txn, t2); });
+                   [this, txn = txn](Tick t2) { mmDataArrived(txn, t2); });
         }
         break;
       default:

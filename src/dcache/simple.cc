@@ -30,7 +30,7 @@ IdealCtrl::startRead(const TxnPtr &txn)
         req.addr = addr;
         req.op = ChanOp::Read;
         req.isDemandRead = true;
-        req.onDataDone = [this, txn](Tick t) {
+        req.onDataDone = [this, txn = txn](Tick t) {
             accountCache(lineBytes, 0, 0);
             finish(txn, t);
         };
@@ -46,7 +46,7 @@ IdealCtrl::startRead(const TxnPtr &txn)
         v.id = nextChanId();
         v.addr = txn->tr.victimAddr;
         v.op = ChanOp::Read;
-        v.onDataDone = [this, txn](Tick) {
+        v.onDataDone = [this, txn = txn](Tick) {
             accountCache(0, lineBytes, 0);
             mmWrite(txn->tr.victimAddr);
             txn->victimDone = true;
@@ -57,7 +57,7 @@ IdealCtrl::startRead(const TxnPtr &txn)
         txn->victimDone = true;
     }
     txn->mmStarted = true;
-    mmRead(addr, [this, txn](Tick t) {
+    mmRead(addr, [this, txn = txn](Tick t) {
         txn->mmDataAt = t;
         respond(txn, t);
         maybeFill(txn);
@@ -77,7 +77,7 @@ IdealCtrl::startWrite(const TxnPtr &txn)
         v.id = nextChanId();
         v.addr = txn->tr.victimAddr;
         v.op = ChanOp::Read;
-        v.onDataDone = [this, txn](Tick t) {
+        v.onDataDone = [this, txn = txn](Tick t) {
             accountCache(0, lineBytes, 0);
             mmWrite(txn->tr.victimAddr);
             issueDataWrite(txn->pkt.addr);
@@ -88,7 +88,7 @@ IdealCtrl::startWrite(const TxnPtr &txn)
     }
     issueDataWrite(addr);
     _eq.scheduleIn(_cfg.ctrlLatency,
-                   [this, txn] { finish(txn, curTick()); });
+                   [this, txn = txn] { finish(txn, curTick()); });
 }
 
 void
@@ -139,11 +139,11 @@ NoCacheCtrl::startAccess(const TxnPtr &txn)
 {
     if (txn->pkt.cmd == MemCmd::Read) {
         mmRead(txn->pkt.addr,
-               [this, txn](Tick t) { respond(txn, t); });
+               [this, txn = txn](Tick t) { respond(txn, t); });
     } else {
         mmWrite(txn->pkt.addr);
         _eq.scheduleIn(_cfg.ctrlLatency,
-                       [this, txn] { respond(txn, curTick()); });
+                       [this, txn = txn] { respond(txn, curTick()); });
     }
 }
 

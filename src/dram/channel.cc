@@ -361,7 +361,8 @@ DramChannel::removeRead(std::uint64_t id)
     if (idx == NIL)
         return false;
     ReqNode &n = _pool[idx];
-    readQueueDelay.sample(ticksToNs(curTick() - n.req.enqueued));
+    emit(*this, ReadRetiredEv{
+        .queueDelayNs = ticksToNs(curTick() - n.req.enqueued)});
     BankState &b = _banks[n.req.coord.bank];
     if (!n.req.probed && n.req.onTagResult)
         --b.probeEligible;
@@ -692,12 +693,9 @@ DramChannel::issueConventional(ChanReq &req, bool is_write)
     const unsigned bytes =
         static_cast<unsigned>(lineBytes * _t.burstScale + 0.5);
     BankState &b = _banks[req.coord.bank];
-#if TDRAM_TRACE || TDRAM_CHECK
     // Row-hit status must be read before the bank state mutates below.
-    const bool was_row_hit = (traceBuf || checker) &&
-                             _cfg.pagePolicy == PagePolicy::Open &&
-                             rowHit(req);
-#endif
+    const bool was_row_hit =
+        _cfg.pagePolicy == PagePolicy::Open && rowHit(req);
 
     _caFreeAt = now + _t.clkPeriod;
 
@@ -743,25 +741,22 @@ DramChannel::issueConventional(ChanReq &req, bool is_write)
         data_start = reserveDq(is_write, data_start, _t.dataBurst());
     }
 
-    if (is_write) {
-        bytesFromCtrl += bytes;
-        ++issuedWrites;
-    } else {
-        bytesToCtrl += bytes;
-        readQueueDelay.sample(ticksToNs(now - req.enqueued));
-        ++issuedReads;
-    }
-    dqBusyTicks += static_cast<double>(_t.dataBurst());
-
     const Tick done = data_start + _t.dataBurst();
-    TSIM_TRACE_EVENT(traceBuf,
-                     is_write ? TraceKind::Write : TraceKind::Read, now,
-                     req.addr, static_cast<std::uint16_t>(req.coord.bank),
-                     done - now, was_row_hit ? 1u : 0u);
-    TSIM_CHECK_EVENT(checker, checkChannel,
-                     is_write ? TraceKind::Write : TraceKind::Read, now,
-                     req.addr, static_cast<std::uint16_t>(req.coord.bank),
-                     done - now, was_row_hit ? 1u : 0u);
+    const auto bank16 = static_cast<std::uint16_t>(req.coord.bank);
+    if (is_write) {
+        emit(*this, WriteIssuedEv{
+            .tick = now, .addr = req.addr, .bank = bank16,
+            .aux = done - now, .extra = was_row_hit ? 1u : 0u,
+            .bytes = bytes,
+            .burstTicks = static_cast<double>(_t.dataBurst())});
+    } else {
+        emit(*this, ReadIssuedEv{
+            .tick = now, .addr = req.addr, .bank = bank16,
+            .aux = done - now, .extra = was_row_hit ? 1u : 0u,
+            .bytes = bytes,
+            .queueDelayNs = ticksToNs(now - req.enqueued),
+            .burstTicks = static_cast<double>(_t.dataBurst())});
+    }
     if (req.onDataDone) {
         _eq.schedule(done, [cb = std::move(req.onDataDone),
                             done]() mutable { cb(done); });
@@ -782,8 +777,6 @@ DramChannel::issueActRd(ChanReq &req, bool probe_pending)
     recordAct(now);
     b.nextAct = now + _t.readBankBusy();
     b.tagNextAct = now + _t.tRC_TAG;
-    ++dataBankActs;
-    ++tagBankActs;
 
     TagResult tr = peekTags(req.addr);
     // Data streams to the controller on a hit or a miss to a dirty
@@ -807,30 +800,22 @@ DramChannel::issueActRd(ChanReq &req, bool probe_pending)
         _hmFreeAt = hm_tick + hmBusOccupancy;
     }
 
-    TSIM_TRACE_EVENT(traceBuf, TraceKind::ActRd, now, req.addr,
-                     static_cast<std::uint16_t>(req.coord.bank),
-                     data_done - now,
-                     packTagBits(tr.hit, tr.valid, tr.dirty, false) |
-                         (transfer ? 16u : 0u));
-    TSIM_CHECK_EVENT(checker, checkChannel, TraceKind::ActRd, now,
-                     req.addr,
-                     static_cast<std::uint16_t>(req.coord.bank),
-                     data_done - now,
-                     packTagBits(tr.hit, tr.valid, tr.dirty, false) |
-                         (transfer ? 16u : 0u));
-    TSIM_TRACE_EVENT(traceBuf, TraceKind::HmResult, hm_tick, req.addr,
-                     static_cast<std::uint16_t>(req.coord.bank),
-                     hm_tick - now,
-                     packTagBits(tr.hit, tr.valid, tr.dirty, false));
-    TSIM_CHECK_EVENT(checker, checkChannel, TraceKind::HmResult,
-                     hm_tick, req.addr,
-                     static_cast<std::uint16_t>(req.coord.bank),
-                     hm_tick - now,
-                     packTagBits(tr.hit, tr.valid, tr.dirty, false));
+    const auto bank16 = static_cast<std::uint16_t>(req.coord.bank);
+    const std::uint32_t tag_bits =
+        packTagBits(tr.hit, tr.valid, tr.dirty, false);
+    emit(*this, ActRdIssuedEv{
+        .tick = now, .addr = req.addr, .bank = bank16,
+        .aux = data_done - now,
+        .extra = tag_bits | (transfer ? 16u : 0u),
+        .bytes = bytes,
+        .burstTicks = static_cast<double>(_t.dataBurst()),
+        .transfer = transfer,
+        .queueDelayNs = ticksToNs(now - req.enqueued)});
+    emit(*this, HmResultEv{
+        .tick = hm_tick, .addr = req.addr, .bank = bank16,
+        .aux = hm_tick - now, .extra = tag_bits});
 
     if (transfer) {
-        bytesToCtrl += bytes;
-        dqBusyTicks += static_cast<double>(_t.dataBurst());
         if (req.onDataDone) {
             _eq.schedule(data_done,
                          [cb = std::move(req.onDataDone),
@@ -843,27 +828,22 @@ DramChannel::issueActRd(ChanReq &req, bool probe_pending)
             !_flush.empty()) {
             const Addr victim = _flush.pop();
             _flush.beginDrain();
-            ++_flush.drainedOnMissClean;
-            bytesToCtrl += lineBytes;
-            dqBusyTicks += static_cast<double>(_t.dataBurst());
-            TSIM_TRACE_EVENT(
-                traceBuf, TraceKind::FlushDrain, data_done, victim,
-                static_cast<std::uint16_t>(_map.decode(victim).bank),
-                _flush.size(),
-                static_cast<std::uint32_t>(DrainCause::MissClean));
-            TSIM_CHECK_EVENT(
-                checker, checkChannel, TraceKind::FlushDrain, data_done,
-                victim,
-                static_cast<std::uint16_t>(_map.decode(victim).bank),
-                _flush.size(),
-                static_cast<std::uint32_t>(DrainCause::MissClean));
+            emit(*this, FlushDrainEv{
+                .tick = data_done, .addr = victim,
+                .bank = static_cast<std::uint16_t>(
+                    _map.decode(victim).bank),
+                .aux = _flush.size(),
+                .extra =
+                    static_cast<std::uint32_t>(DrainCause::MissClean),
+                .burstTicks = static_cast<double>(_t.dataBurst())});
             _eq.schedule(data_done, [this, victim, data_done] {
                 _flush.completeDrain();
                 if (onFlushArrive)
                     onFlushArrive(victim, data_done);
             });
         } else {
-            dqReservedIdleTicks += static_cast<double>(_t.dataBurst());
+            emit(*this, DqIdleEv{
+                .burstTicks = static_cast<double>(_t.dataBurst())});
         }
     }
 
@@ -883,8 +863,6 @@ DramChannel::issueActRd(ChanReq &req, bool probe_pending)
                           hm_tick]() mutable { cb(hm_tick, tr); });
         }
     }
-    readQueueDelay.sample(ticksToNs(now - req.enqueued));
-    ++issuedActRd;
 }
 
 void
@@ -899,8 +877,6 @@ DramChannel::issueActWr(ChanReq &req)
 
     _caFreeAt = now + _t.clkPeriod;
     recordAct(now);
-    ++dataBankActs;
-    ++tagBankActs;
     b.tagNextAct = now + _t.tRC_TAG;
 
     TagResult tr = peekTags(req.addr);
@@ -917,8 +893,6 @@ DramChannel::issueActWr(ChanReq &req)
     const Tick data_start =
         reserveDq(true, now + _t.tCWL, _t.dataBurst());
     const Tick data_done = data_start + _t.dataBurst();
-    bytesFromCtrl += bytes;
-    dqBusyTicks += static_cast<double>(_t.dataBurst());
 
     Tick hm_tick;
     if (_cfg.hmAtColumn) {
@@ -928,24 +902,17 @@ DramChannel::issueActWr(ChanReq &req)
         _hmFreeAt = hm_tick + hmBusOccupancy;
     }
 
-    TSIM_TRACE_EVENT(traceBuf, TraceKind::ActWr, now, req.addr,
-                     static_cast<std::uint16_t>(req.coord.bank),
-                     data_done - now,
-                     packTagBits(tr.hit, tr.valid, tr.dirty, false));
-    TSIM_CHECK_EVENT(checker, checkChannel, TraceKind::ActWr, now,
-                     req.addr,
-                     static_cast<std::uint16_t>(req.coord.bank),
-                     data_done - now,
-                     packTagBits(tr.hit, tr.valid, tr.dirty, false));
-    TSIM_TRACE_EVENT(traceBuf, TraceKind::HmResult, hm_tick, req.addr,
-                     static_cast<std::uint16_t>(req.coord.bank),
-                     hm_tick - now,
-                     packTagBits(tr.hit, tr.valid, tr.dirty, false));
-    TSIM_CHECK_EVENT(checker, checkChannel, TraceKind::HmResult,
-                     hm_tick, req.addr,
-                     static_cast<std::uint16_t>(req.coord.bank),
-                     hm_tick - now,
-                     packTagBits(tr.hit, tr.valid, tr.dirty, false));
+    const auto bank16 = static_cast<std::uint16_t>(req.coord.bank);
+    const std::uint32_t tag_bits =
+        packTagBits(tr.hit, tr.valid, tr.dirty, false);
+    emit(*this, ActWrIssuedEv{
+        .tick = now, .addr = req.addr, .bank = bank16,
+        .aux = data_done - now, .extra = tag_bits,
+        .bytes = bytes,
+        .burstTicks = static_cast<double>(_t.dataBurst())});
+    emit(*this, HmResultEv{
+        .tick = hm_tick, .addr = req.addr, .bank = bank16,
+        .aux = hm_tick - now, .extra = tag_bits});
 
     if (miss_dirty && _cfg.hasFlushBuffer) {
         // The victim lands in the flush buffer once the internal read
@@ -966,23 +933,17 @@ DramChannel::issueActWr(ChanReq &req)
                      [cb = std::move(req.onDataDone),
                       data_done]() mutable { cb(data_done); });
     }
-    ++issuedActWr;
 }
 
 void
 DramChannel::flushPushRetry(Addr victim)
 {
     if (_flush.push(victim)) {
-        TSIM_TRACE_EVENT(traceBuf, TraceKind::FlushPush, curTick(),
-                         victim,
-                         static_cast<std::uint16_t>(
-                             _map.decode(victim).bank),
-                         _flush.size(), 0);
-        TSIM_CHECK_EVENT(checker, checkChannel, TraceKind::FlushPush,
-                         curTick(), victim,
-                         static_cast<std::uint16_t>(
-                             _map.decode(victim).bank),
-                         _flush.size(), 0);
+        emit(*this, FlushPushEv{
+            .tick = curTick(), .addr = victim,
+            .bank =
+                static_cast<std::uint16_t>(_map.decode(victim).bank),
+            .aux = _flush.size(), .extra = 0});
         kick();
         return;
     }
@@ -1007,21 +968,14 @@ DramChannel::forceDrain()
     while (!_flush.empty()) {
         const Addr victim = _flush.pop();
         _flush.beginDrain();
-        ++_flush.drainedForced;
-        bytesToCtrl += lineBytes;
-        dqBusyTicks += static_cast<double>(_t.tBURST);
         const Tick done = start + _t.tBURST;
-        TSIM_TRACE_EVENT(traceBuf, TraceKind::FlushDrain, done, victim,
-                         static_cast<std::uint16_t>(
-                             _map.decode(victim).bank),
-                         _flush.size(),
-                         static_cast<std::uint32_t>(DrainCause::Forced));
-        TSIM_CHECK_EVENT(checker, checkChannel, TraceKind::FlushDrain,
-                         done, victim,
-                         static_cast<std::uint16_t>(
-                             _map.decode(victim).bank),
-                         _flush.size(),
-                         static_cast<std::uint32_t>(DrainCause::Forced));
+        emit(*this, FlushDrainEv{
+            .tick = done, .addr = victim,
+            .bank =
+                static_cast<std::uint16_t>(_map.decode(victim).bank),
+            .aux = _flush.size(),
+            .extra = static_cast<std::uint32_t>(DrainCause::Forced),
+            .burstTicks = static_cast<double>(_t.tBURST)});
         _eq.schedule(done, [this, victim, done] {
             _flush.completeDrain();
             if (onFlushArrive)
@@ -1061,7 +1015,7 @@ DramChannel::tryProbe()
             continue;
         BankState &b = _banks[n.req.coord.bank];
         if (b.tagNextAct > now) {
-            ++probeBankConflicts;
+            emit(*this, ProbeConflictEv{});
             continue;
         }
         n.req.probed = true;
@@ -1069,31 +1023,19 @@ DramChannel::tryProbe()
         --b.probeEligible;
         _caFreeAt = now + _t.clkPeriod;
         b.tagNextAct = now + _t.tRC_TAG;
-        ++tagBankActs;
-        ++probesIssued;
         TagResult tr = peekTags(n.req.addr);
         tr.viaProbe = true;
         const Tick hm_tick = now + hm_lat;
         _hmFreeAt = hm_tick + hmBusOccupancy;
-        TSIM_TRACE_EVENT(traceBuf, TraceKind::Probe, now, n.req.addr,
-                         static_cast<std::uint16_t>(n.req.coord.bank),
-                         hm_lat,
-                         packTagBits(tr.hit, tr.valid, tr.dirty, true));
-        TSIM_CHECK_EVENT(checker, checkChannel, TraceKind::Probe, now,
-                         n.req.addr,
-                         static_cast<std::uint16_t>(n.req.coord.bank),
-                         hm_lat,
-                         packTagBits(tr.hit, tr.valid, tr.dirty, true));
-        TSIM_TRACE_EVENT(traceBuf, TraceKind::HmResult, hm_tick,
-                         n.req.addr,
-                         static_cast<std::uint16_t>(n.req.coord.bank),
-                         hm_lat,
-                         packTagBits(tr.hit, tr.valid, tr.dirty, true));
-        TSIM_CHECK_EVENT(checker, checkChannel, TraceKind::HmResult,
-                         hm_tick, n.req.addr,
-                         static_cast<std::uint16_t>(n.req.coord.bank),
-                         hm_lat,
-                         packTagBits(tr.hit, tr.valid, tr.dirty, true));
+        const auto bank16 = static_cast<std::uint16_t>(n.req.coord.bank);
+        const std::uint32_t tag_bits =
+            packTagBits(tr.hit, tr.valid, tr.dirty, true);
+        emit(*this, ProbeIssuedEv{
+            .tick = now, .addr = n.req.addr, .bank = bank16,
+            .aux = hm_lat, .extra = tag_bits});
+        emit(*this, HmResultEv{
+            .tick = hm_tick, .addr = n.req.addr, .bank = bank16,
+            .aux = hm_lat, .extra = tag_bits});
         const std::uint64_t id = n.req.id;
         _eq.schedule(hm_tick, [this, id, tr, hm_tick] {
             deliverProbe(id, hm_tick, tr);
@@ -1132,12 +1074,10 @@ void
 DramChannel::startRefresh()
 {
     const Tick now = curTick();
-    ++refreshes;
     _refreshUntil = now + _t.tRFC;
-    TSIM_TRACE_EVENT(traceBuf, TraceKind::Refresh, now, 0, traceBankNone,
-                     _t.tRFC, 0);
-    TSIM_CHECK_EVENT(checker, checkChannel, TraceKind::Refresh, now, 0,
-                     traceBankNone, _t.tRFC, 0);
+    emit(*this, RefreshEv{
+        .tick = now, .addr = 0, .bank = traceBankNone,
+        .aux = _t.tRFC, .extra = 0});
     for (auto &b : _banks) {
         b.nextAct = std::max(b.nextAct, _refreshUntil);
         // Tag mats refresh in parallel with data mats (§III-C2).
@@ -1158,21 +1098,14 @@ DramChannel::startRefresh()
                start + _t.tBURST <= _refreshUntil) {
             const Addr victim = _flush.pop();
             _flush.beginDrain();
-            ++_flush.drainedOnRefresh;
-            bytesToCtrl += lineBytes;
-            dqBusyTicks += static_cast<double>(_t.tBURST);
             const Tick done = start + _t.tBURST;
-            TSIM_TRACE_EVENT(
-                traceBuf, TraceKind::FlushDrain, done, victim,
-                static_cast<std::uint16_t>(_map.decode(victim).bank),
-                _flush.size(),
-                static_cast<std::uint32_t>(DrainCause::Refresh));
-            TSIM_CHECK_EVENT(
-                checker, checkChannel, TraceKind::FlushDrain, done,
-                victim,
-                static_cast<std::uint16_t>(_map.decode(victim).bank),
-                _flush.size(),
-                static_cast<std::uint32_t>(DrainCause::Refresh));
+            emit(*this, FlushDrainEv{
+                .tick = done, .addr = victim,
+                .bank = static_cast<std::uint16_t>(
+                    _map.decode(victim).bank),
+                .aux = _flush.size(),
+                .extra = static_cast<std::uint32_t>(DrainCause::Refresh),
+                .burstTicks = static_cast<double>(_t.tBURST)});
             _eq.schedule(done, [this, victim, done] {
                 _flush.completeDrain();
                 if (onFlushArrive)

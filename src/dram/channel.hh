@@ -50,6 +50,7 @@
 #include "dram/timing.hh"
 #include "mem/address_map.hh"
 #include "mem/types.hh"
+#include "sim/event_bus.hh"
 #include "sim/event_queue.hh"
 #include "sim/inline_function.hh"
 #include "stats/stats.hh"
@@ -203,17 +204,17 @@ class DramChannel : public SimObject
 
     /**
      * Optional cycle-level event-trace sink (DESIGN.md §10); null
-     * disables tracing for this channel. Emission sites are gated by
-     * TSIM_TRACE_EVENT, so TDRAM_TRACE=0 builds compile them out.
+     * disables tracing for this channel. Events reach it through the
+     * bus's trace subscriber (sim/event_bus.hh), so TDRAM_TRACE=0
+     * builds compile the delivery out entirely.
      */
     TraceBuffer *traceBuf = nullptr;
 
     /**
      * Optional inline protocol checker (DESIGN.md §11); null disables
-     * checking for this channel. Hook sites sit beside the trace
-     * hooks and are gated by TSIM_CHECK_EVENT, so TDRAM_CHECK=0
-     * builds compile them out. `checkChannel` is this channel's id in
-     * the checker (assigned by ProtocolChecker::addChannel).
+     * checking for this channel. Events reach it through the bus's
+     * check subscriber, gated by TDRAM_CHECK. `checkChannel` is this
+     * channel's id in the checker (ProtocolChecker::addChannel).
      */
     ProtocolChecker *checker = nullptr;
     unsigned checkChannel = 0;
@@ -254,6 +255,221 @@ class DramChannel : public SimObject
 
     /** Register all channel stats on @p g for reporting. */
     void regStats(StatGroup &g) const;
+
+    /**
+     * @name Bus events (src/sim/event_bus.hh, DESIGN.md §13).
+     * One struct per emission site: the TraceKind payload the trace
+     * and check subscribers consume, plus the site's statistics
+     * applied by stats(). Stats-only occurrences set traced = false.
+     * Emitted with emit(*this, Ev{...}); argument lists that used to
+     * be retyped across the trace and check macros now exist once.
+     */
+    /// @{
+    struct ReadIssuedEv
+    {
+        static constexpr TraceKind kind = TraceKind::Read;
+        Tick tick;
+        Addr addr;
+        std::uint16_t bank;
+        std::uint64_t aux;
+        std::uint32_t extra;
+        unsigned bytes;       ///< DQ payload toward the controller
+        double queueDelayNs;  ///< read-queue residency
+        double burstTicks;    ///< DQ occupancy of the transfer
+
+        void
+        stats(DramChannel &c) const
+        {
+            c.bytesToCtrl += bytes;
+            c.readQueueDelay.sample(queueDelayNs);
+            ++c.issuedReads;
+            c.dqBusyTicks += burstTicks;
+        }
+    };
+
+    struct WriteIssuedEv
+    {
+        static constexpr TraceKind kind = TraceKind::Write;
+        Tick tick;
+        Addr addr;
+        std::uint16_t bank;
+        std::uint64_t aux;
+        std::uint32_t extra;
+        unsigned bytes;
+        double burstTicks;
+
+        void
+        stats(DramChannel &c) const
+        {
+            c.bytesFromCtrl += bytes;
+            ++c.issuedWrites;
+            c.dqBusyTicks += burstTicks;
+        }
+    };
+
+    struct ActRdIssuedEv
+    {
+        static constexpr TraceKind kind = TraceKind::ActRd;
+        Tick tick;
+        Addr addr;
+        std::uint16_t bank;
+        std::uint64_t aux;
+        std::uint32_t extra;
+        unsigned bytes;
+        double burstTicks;
+        bool transfer;        ///< column op actually moved data
+        double queueDelayNs;
+
+        void
+        stats(DramChannel &c) const
+        {
+            ++c.dataBankActs;
+            ++c.tagBankActs;
+            if (transfer) {
+                c.bytesToCtrl += bytes;
+                c.dqBusyTicks += burstTicks;
+            }
+            c.readQueueDelay.sample(queueDelayNs);
+            ++c.issuedActRd;
+        }
+    };
+
+    struct ActWrIssuedEv
+    {
+        static constexpr TraceKind kind = TraceKind::ActWr;
+        Tick tick;
+        Addr addr;
+        std::uint16_t bank;
+        std::uint64_t aux;
+        std::uint32_t extra;
+        unsigned bytes;
+        double burstTicks;
+
+        void
+        stats(DramChannel &c) const
+        {
+            ++c.dataBankActs;
+            ++c.tagBankActs;
+            c.bytesFromCtrl += bytes;
+            c.dqBusyTicks += burstTicks;
+            ++c.issuedActWr;
+        }
+    };
+
+    struct ProbeIssuedEv
+    {
+        static constexpr TraceKind kind = TraceKind::Probe;
+        Tick tick;
+        Addr addr;
+        std::uint16_t bank;
+        std::uint64_t aux;
+        std::uint32_t extra;
+
+        void
+        stats(DramChannel &c) const
+        {
+            ++c.tagBankActs;
+            ++c.probesIssued;
+        }
+    };
+
+    /** HM-bus result (MAIN or probe); trace/check payload only. */
+    struct HmResultEv
+    {
+        static constexpr TraceKind kind = TraceKind::HmResult;
+        Tick tick;
+        Addr addr;
+        std::uint16_t bank;
+        std::uint64_t aux;
+        std::uint32_t extra;
+    };
+
+    struct FlushPushEv
+    {
+        static constexpr TraceKind kind = TraceKind::FlushPush;
+        Tick tick;
+        Addr addr;
+        std::uint16_t bank;
+        std::uint64_t aux;
+        std::uint32_t extra;
+    };
+
+    /** One victim drained; extra carries the DrainCause. */
+    struct FlushDrainEv
+    {
+        static constexpr TraceKind kind = TraceKind::FlushDrain;
+        Tick tick;
+        Addr addr;
+        std::uint16_t bank;
+        std::uint64_t aux;
+        std::uint32_t extra;
+        double burstTicks;
+
+        void
+        stats(DramChannel &c) const
+        {
+            switch (static_cast<DrainCause>(extra)) {
+              case DrainCause::MissClean:
+                ++c._flush.drainedOnMissClean;
+                break;
+              case DrainCause::Refresh:
+                ++c._flush.drainedOnRefresh;
+                break;
+              case DrainCause::Forced:
+                ++c._flush.drainedForced;
+                break;
+            }
+            c.bytesToCtrl += lineBytes;
+            c.dqBusyTicks += burstTicks;
+        }
+    };
+
+    struct RefreshEv
+    {
+        static constexpr TraceKind kind = TraceKind::Refresh;
+        Tick tick;
+        Addr addr;
+        std::uint16_t bank;
+        std::uint64_t aux;
+        std::uint32_t extra;
+
+        void stats(DramChannel &c) const { ++c.refreshes; }
+    };
+
+    /** Read retired from the queue without a data access. */
+    struct ReadRetiredEv
+    {
+        static constexpr bool traced = false;
+        double queueDelayNs;
+
+        void
+        stats(DramChannel &c) const
+        {
+            c.readQueueDelay.sample(queueDelayNs);
+        }
+    };
+
+    /** Reserved miss-clean DQ slot went unused. */
+    struct DqIdleEv
+    {
+        static constexpr bool traced = false;
+        double burstTicks;
+
+        void
+        stats(DramChannel &c) const
+        {
+            c.dqReservedIdleTicks += burstTicks;
+        }
+    };
+
+    /** Probe candidate skipped because its tag bank was busy. */
+    struct ProbeConflictEv
+    {
+        static constexpr bool traced = false;
+
+        void stats(DramChannel &c) const { ++c.probeBankConflicts; }
+    };
+    /// @}
 
   private:
     static constexpr std::uint32_t NIL = 0xffffffffu;

@@ -35,7 +35,7 @@ MainMemory::MainMemory(EventQueue &eq, std::string name,
 }
 
 void
-MainMemory::read(Addr addr, std::function<void(Tick)> on_done)
+MainMemory::read(Addr addr, MmReadCb on_done)
 {
     const unsigned chan = _map.decode(addr).channel;
     const Tick start = curTick();
@@ -46,7 +46,7 @@ MainMemory::read(Addr addr, std::function<void(Tick)> on_done)
     req.op = ChanOp::Read;
     req.isDemandRead = true;
     req.onDataDone = [this, start, chan,
-                      cb = std::move(on_done)](Tick t) {
+                      cb = std::move(on_done)](Tick t) mutable {
         readLatency.sample(ticksToNs(t - start));
         if (cb)
             cb(t);

@@ -22,12 +22,23 @@
 #include "mem/address_map.hh"
 #include "mem/types.hh"
 #include "sim/event_queue.hh"
+#include "sim/inline_function.hh"
 #include "stats/stats.hh"
 
 namespace tsim
 {
 
 class ShardOutbox;
+
+/**
+ * Completion callback for a main-memory read. 16 bytes of inline
+ * storage: every production caller captures a component pointer plus
+ * one 8-byte payload (a pooled TxnRef or a line address), so the
+ * controller-to-backing-store path never allocates. Sized so
+ * MainMemory::read's internal wrapper (this + start tick + channel +
+ * the callback) is exactly one 64-byte ChanDataCb capture.
+ */
+using MmReadCb = InlineCallable<void(Tick), 16>;
 
 /** Configuration for the main memory. */
 struct MainMemoryConfig
@@ -58,7 +69,7 @@ class MainMemory : public SimObject
                const MainMemoryConfig &cfg);
 
     /** Issue a read; @p on_done fires when data is at the caller. */
-    void read(Addr addr, std::function<void(Tick)> on_done);
+    void read(Addr addr, MmReadCb on_done);
 
     /** Issue a posted write (fire and forget). */
     void write(Addr addr);

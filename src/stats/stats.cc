@@ -6,6 +6,12 @@ namespace tsim
 {
 
 void
+Histogram::sampleOverflow()
+{
+    ++_buckets.back();
+}
+
+void
 StatGroup::dump(std::ostream &os) const
 {
     auto line = [&](const std::string &stat, double value,

@@ -19,8 +19,27 @@
 #include <string>
 #include <vector>
 
+/**
+ * Compile-time gate for hot-path statistics, mirroring TDRAM_TRACE
+ * and TDRAM_CHECK. With TDRAM_STATS=0 the event bus drops its stats
+ * subscriber and FlushBuffer::push skips its occupancy sampling, so
+ * no Histogram::sample call survives in the scheduler's object file
+ * (tests/check_stats_gate.sh asserts this via the out-of-line
+ * overflow-bucket symbol). End-of-run dump code is unaffected.
+ */
+#ifndef TDRAM_STATS
+#define TDRAM_STATS 1
+#endif
+
 namespace tsim
 {
+
+/** True when hot-path stats updates are compiled in (TDRAM_STATS=1). */
+constexpr bool
+statsCompiledIn()
+{
+    return TDRAM_STATS != 0;
+}
 
 /** A simple monotonically updated counter / value. */
 class Scalar
@@ -95,10 +114,11 @@ class Histogram
         _sumSq += v * v;
         _min = std::min(_min, v);
         _max = std::max(_max, v);
-        auto idx = static_cast<std::size_t>(v / _width);
-        if (idx >= _buckets.size())
-            idx = _buckets.size() - 1;
-        ++_buckets[idx];
+        const auto idx = static_cast<std::size_t>(v / _width);
+        if (idx < _buckets.size())
+            ++_buckets[idx];
+        else
+            sampleOverflow();
     }
 
     std::uint64_t count() const { return _count; }
@@ -147,6 +167,13 @@ class Histogram
     }
 
   private:
+    /**
+     * Out-of-line clamp into the overflow bucket. Kept in stats.cc so
+     * every compiled-in sample() site leaves a nameable symbol
+     * reference — the anchor tests/check_stats_gate.sh greps for.
+     */
+    void sampleOverflow();
+
     double _width;
     std::vector<std::uint64_t> _buckets;
     std::uint64_t _count = 0;

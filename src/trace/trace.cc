@@ -150,6 +150,15 @@ Tracer::commitDeferred()
     }
 }
 
+std::uint64_t
+Tracer::droppedTotal() const
+{
+    std::uint64_t total = 0;
+    for (const auto &b : _buffers)
+        total += b->dropped();
+    return total;
+}
+
 void
 Tracer::flushAll()
 {
@@ -158,10 +167,12 @@ Tracer::flushAll()
     for (auto &b : _buffers)
         b->flush();
     // Patch the record count into the header so readers can reject
-    // truncated files.
+    // truncated files, and the drop total so readers can tell a
+    // complete trace from one whose rings wrapped.
     TraceFileHeader hdr;
     hdr.channels = static_cast<std::uint32_t>(_buffers.size());
     hdr.recordCount = _written;
+    hdr.droppedCount = droppedTotal();
     std::fseek(_file, 0, SEEK_SET);
     fatal_if(std::fwrite(&hdr, sizeof(hdr), 1, _file) != 1,
              "cannot patch trace header of '%s'", _path.c_str());

@@ -150,7 +150,15 @@ struct TraceFileHeader
     std::uint32_t recordBytes = sizeof(TraceRecord);
     std::uint32_t channels = 0;    ///< buffer count of the writer
     std::uint64_t recordCount = 0; ///< patched on close
-    std::uint64_t reserved = 0;
+    /**
+     * Records lost to ring wraparound across every channel, patched
+     * on close alongside recordCount. Zero for sinked runs (full
+     * rings spill instead of wrapping), so readers treat a nonzero
+     * value as "this trace is silently incomplete". Occupies the
+     * former reserved word; zero-filled files from older writers
+     * read back as "no drops", keeping version 1 traces compatible.
+     */
+    std::uint64_t droppedCount = 0;
 
     static constexpr std::uint32_t magicValue = 0x54445431; ///< "1TDT"
     static constexpr std::uint32_t versionValue = 1;
@@ -297,6 +305,9 @@ class Tracer
     const std::string &path() const { return _path; }
     bool sinked() const { return _file != nullptr; }
     std::uint64_t recordsWritten() const { return _written; }
+
+    /** Records dropped to ring wraparound, summed over channels. */
+    std::uint64_t droppedTotal() const;
 
   private:
     friend class TraceBuffer;

@@ -41,12 +41,16 @@ summarizeTrace(const TraceFile &t)
 {
     TraceSummary s;
     s.records = t.records.size();
+    s.dropped = t.header.droppedCount;
     double hm_lat_sum = 0;
     std::uint64_t depth = 0;
+    std::uint64_t max_seq = 0;
     if (!t.records.empty())
         s.firstTick = t.records.front().tick;
     for (const TraceRecord &r : t.records) {
         s.lastTick = std::max(s.lastTick, r.tick);
+        max_seq = std::max(max_seq, r.seq);
+        ++s.perChannel[r.channel];
         if (r.kind < static_cast<std::uint8_t>(TraceKind::NumKinds))
             ++s.perKind[r.kind];
         switch (static_cast<TraceKind>(r.kind)) {
@@ -75,6 +79,8 @@ summarizeTrace(const TraceFile &t)
     }
     if (s.hmResponses)
         s.hmMeanLatencyNs = hm_lat_sum / static_cast<double>(s.hmResponses);
+    if (!t.records.empty())
+        s.seqMissing = max_seq + 1 - s.records;
     return s;
 }
 
@@ -85,6 +91,18 @@ printTraceSummary(std::ostream &os, const TraceSummary &s,
     os << "records        " << s.records << "\n";
     os << "span           " << ticksToNs(s.firstTick) << " .. "
        << ticksToNs(s.lastTick) << " ns\n";
+    if (!s.perChannel.empty()) {
+        os << "per channel:";
+        for (const auto &[ch, n] : s.perChannel)
+            os << "  ch" << ch << " " << n;
+        os << "\n";
+    }
+    if (s.dropped || s.seqMissing) {
+        os << "WARNING: incomplete trace: " << s.dropped
+           << " ring-wrap drops reported by the writer, "
+           << s.seqMissing << " emission seq(s) absent from the "
+              "file\n";
+    }
     os << "per kind:\n";
     for (unsigned k = 0;
          k < static_cast<unsigned>(TraceKind::NumKinds); ++k) {

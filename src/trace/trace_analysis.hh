@@ -27,6 +27,19 @@ struct TraceSummary
     Tick firstTick = 0;
     Tick lastTick = 0;
 
+    /** Records present per channel ring (spill counts). */
+    std::map<unsigned, std::uint64_t> perChannel;
+
+    /** Ring-wrap losses the writer reported in the header. */
+    std::uint64_t dropped = 0;
+
+    /**
+     * Emission seqs absent from the file: (maxSeq + 1) - records.
+     * Nonzero means the trace is incomplete (ring drops or a writer
+     * that never flushed); per-record seqs are dense on a clean run.
+     */
+    std::uint64_t seqMissing = 0;
+
     /** Event count per TraceKind. */
     std::array<std::uint64_t,
                static_cast<std::size_t>(TraceKind::NumKinds)>

@@ -25,6 +25,47 @@ CoreEngine::CoreEngine(
     }
 }
 
+CoreEngine::StallNode *
+CoreEngine::allocStall()
+{
+    if (!_stallFree) {
+        constexpr std::size_t chunkNodes = 64;
+        auto chunk = std::make_unique<StallNode[]>(chunkNodes);
+        for (std::size_t i = 0; i < chunkNodes; ++i) {
+            chunk[i].next = _stallFree;
+            _stallFree = &chunk[i];
+        }
+        _stallChunks.push_back(std::move(chunk));
+    }
+    StallNode *n = _stallFree;
+    _stallFree = n->next;
+    n->next = nullptr;
+    return n;
+}
+
+void
+CoreEngine::pushStalled(Core &core, const MemPacket &pkt)
+{
+    StallNode *n = allocStall();
+    n->pkt = pkt;
+    if (core.stalledTail)
+        core.stalledTail->next = n;
+    else
+        core.stalledHead = n;
+    core.stalledTail = n;
+}
+
+void
+CoreEngine::popStalled(Core &core)
+{
+    StallNode *n = core.stalledHead;
+    core.stalledHead = n->next;
+    if (!core.stalledHead)
+        core.stalledTail = nullptr;
+    n->next = _stallFree;
+    _stallFree = n;
+}
+
 void
 CoreEngine::start()
 {
@@ -92,7 +133,7 @@ CoreEngine::advance(unsigned c)
                 p.addr = wb.writebackAddr;
                 p.cmd = MemCmd::Write;
                 p.coreId = static_cast<int>(c);
-                core.stalled.push_back(p);
+                pushStalled(core, p);
             }
         }
 
@@ -106,7 +147,7 @@ CoreEngine::advance(unsigned c)
             p.addr = llcres.writebackAddr;
             p.cmd = MemCmd::Write;
             p.coreId = static_cast<int>(c);
-            core.stalled.push_back(p);
+            pushStalled(core, p);
         }
         if (llcres.hit) {
             if (!drainStalled(c)) {
@@ -126,7 +167,7 @@ CoreEngine::advance(unsigned c)
         rd.cmd = MemCmd::Read;
         rd.coreId = static_cast<int>(c);
         rd.pc = (static_cast<Addr>(c) << 32) | (core.issued % 64) * 4;
-        core.stalled.push_back(rd);
+        pushStalled(core, rd);
 
         if (!drainStalled(c)) {
             scheduleAdvance(c, now + _cfg.retryInterval);
@@ -140,13 +181,13 @@ bool
 CoreEngine::drainStalled(unsigned c)
 {
     auto &core = _cores[c];
-    while (!core.stalled.empty()) {
-        MemPacket &pkt = core.stalled.front();
+    while (core.hasStalled()) {
+        MemPacket &pkt = core.stalledHead->pkt;
         if (!issueDemand(c, pkt)) {
             ++backpressureStalls;
             return false;
         }
-        core.stalled.pop_front();
+        popStalled(core);
     }
     return true;
 }
@@ -178,7 +219,7 @@ CoreEngine::readReturned(unsigned c, const MemPacket &pkt)
     ++core.retired;
     ++opsRetired;
     demandReadLatency.sample(ticksToNs(pkt.completed - pkt.created));
-    if (core.issued < _cfg.opsPerCore || !core.stalled.empty()) {
+    if (core.issued < _cfg.opsPerCore || core.hasStalled()) {
         advance(c);
     } else {
         maybeFinish(c);
@@ -190,7 +231,7 @@ CoreEngine::maybeFinish(unsigned c)
 {
     auto &core = _cores[c];
     if (core.finished || core.issued < _cfg.opsPerCore ||
-        core.outstanding > 0 || !core.stalled.empty()) {
+        core.outstanding > 0 || core.hasStalled()) {
         return;
     }
     core.finished = true;
@@ -230,12 +271,15 @@ CoreEngine::dumpDebug(std::FILE *f) const
 {
     for (unsigned c = 0; c < _cfg.cores; ++c) {
         const Core &core = _cores[c];
+        std::size_t depth = 0;
+        for (const StallNode *n = core.stalledHead; n; n = n->next)
+            ++depth;
         std::fprintf(f,
                      "core %u: issued=%llu retired=%llu outst=%u "
                      "stalled=%zu readyAt=%llu sched=%d fin=%d\n",
                      c, (unsigned long long)core.issued,
                      (unsigned long long)core.retired,
-                     core.outstanding, core.stalled.size(),
+                     core.outstanding, depth,
                      (unsigned long long)core.readyAt,
                      core.issueScheduled, core.finished);
     }

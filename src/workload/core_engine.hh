@@ -14,7 +14,6 @@
 #ifndef TSIM_WORKLOAD_CORE_ENGINE_HH
 #define TSIM_WORKLOAD_CORE_ENGINE_HH
 
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -92,6 +91,17 @@ class CoreEngine : public SimObject
     void dumpDebug(std::FILE *f) const;
 
   private:
+    /**
+     * Node of a core's backpressured-demand FIFO. Nodes are recycled
+     * through an engine-wide free list carved from chunked slabs, so
+     * the issue path never allocates once warm.
+     */
+    struct StallNode
+    {
+        MemPacket pkt;
+        StallNode *next = nullptr;
+    };
+
     struct Core
     {
         std::unique_ptr<AddressGenerator> gen;
@@ -101,7 +111,9 @@ class CoreEngine : public SimObject
         Tick readyAt = 0;               ///< local pipeline time
         bool issueScheduled = false;
         bool finished = false;
-        std::deque<MemPacket> stalled;  ///< backpressured demands
+        StallNode *stalledHead = nullptr;  ///< backpressured demands
+        StallNode *stalledTail = nullptr;
+        bool hasStalled() const { return stalledHead != nullptr; }
     };
 
     void advance(unsigned c);
@@ -121,6 +133,12 @@ class CoreEngine : public SimObject
     void readReturned(unsigned c, const MemPacket &pkt);
     void maybeFinish(unsigned c);
 
+    /** Park one demand at the tail of @p core's stalled FIFO. */
+    void pushStalled(Core &core, const MemPacket &pkt);
+    /** Unlink the front stalled demand and recycle its node. */
+    void popStalled(Core &core);
+    StallNode *allocStall();
+
     CoreConfig _cfg;
     DramCacheCtrl &_dcache;
     SramCache _llc;
@@ -130,6 +148,8 @@ class CoreEngine : public SimObject
     unsigned _coresDone = 0;
     Tick _finishTick = 0;
     PacketId _nextPktId = 1;
+    std::vector<std::unique_ptr<StallNode[]>> _stallChunks;
+    StallNode *_stallFree = nullptr;
 };
 
 } // namespace tsim

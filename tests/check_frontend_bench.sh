@@ -1,0 +1,57 @@
+#!/bin/sh
+# Gate a BENCH_frontend.json produced by bench/micro_frontend:
+#
+#   - checksum_match must be true for every design (the fast front end
+#     and the frozen legacy snapshot simulated identical systems);
+#   - fast allocs_per_req must be ~zero (<= 0.05) for every design —
+#     this is deterministic, so any rise means a capture or pool
+#     regression pushed the hot path back onto the allocator;
+#   - geomean_speedup must be >= 1.5 (the PR's headline perf target).
+#
+# Usage: check_frontend_bench.sh <BENCH_frontend.json>
+# Exit 0 when all gates pass, 1 otherwise.
+set -u
+
+JSON="${1:?usage: check_frontend_bench.sh <BENCH_frontend.json>}"
+[ -f "$JSON" ] || { echo "FAIL: no such file: $JSON"; exit 1; }
+
+fail=0
+
+if grep -q '"checksum_match": false' "$JSON"; then
+    echo "FAIL: fast/legacy checksum divergence in $JSON"
+    fail=1
+fi
+
+# The benchmark emits one "allocs_per_req" per stack; the fast stack's
+# line also carries "sbo_heap_fallbacks", which is what we key on.
+worst_allocs=$(awk '
+    /"sbo_heap_fallbacks"/ {
+        if (match($0, /"allocs_per_req": [0-9.]+/)) {
+            v = substr($0, RSTART + 18, RLENGTH - 18) + 0
+            if (v > worst) worst = v
+        }
+    }
+    END { printf "%.6f", worst }' "$JSON")
+if ! awk "BEGIN { exit !($worst_allocs <= 0.05) }"; then
+    echo "FAIL: fast-path allocs_per_req $worst_allocs > 0.05"
+    fail=1
+fi
+
+geomean=$(awk '
+    /"geomean_speedup"/ {
+        if (match($0, /[0-9.]+/))
+            printf "%s", substr($0, RSTART, RLENGTH)
+    }' "$JSON")
+if [ -z "$geomean" ]; then
+    echo "FAIL: no geomean_speedup in $JSON"
+    fail=1
+elif ! awk "BEGIN { exit !($geomean >= 1.5) }"; then
+    echo "FAIL: geomean_speedup $geomean < 1.5"
+    fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+    echo "frontend bench gate PASSED:" \
+         "geomean ${geomean}x, worst fast allocs/req $worst_allocs"
+fi
+exit "$fail"

@@ -1,0 +1,63 @@
+#!/bin/sh
+# Guard test for the TDRAM_STATS compile-time gate (DESIGN.md §13).
+#
+# The event bus's stats subscriber applies Histogram::sample on the
+# scheduler's hot path; every compiled-in sample() site references the
+# out-of-line Histogram::sampleOverflow() clamp. A TDRAM_STATS=1
+# compile of the hottest emission site (dram/channel.cc) therefore
+# references that symbol; a TDRAM_STATS=0 compile must not reference
+# any Histogram sampling symbol — proving the stats subscriber (and
+# FlushBuffer's inline occupancy sampling) compiled out entirely, not
+# just branched around.
+#
+# Usage: check_stats_gate.sh <repo-source-dir>
+# Exit codes: 0 pass, 1 fail, 77 skip (toolchain unavailable).
+
+set -u
+
+SRC_DIR=${1:-$(cd "$(dirname "$0")/.." && pwd)}
+CXX=${CXX:-c++}
+
+command -v "$CXX" >/dev/null 2>&1 || { echo "skip: no $CXX"; exit 77; }
+command -v nm >/dev/null 2>&1 || { echo "skip: no nm"; exit 77; }
+
+TMP=$(mktemp -d) || exit 77
+trap 'rm -rf "$TMP"' EXIT
+
+FLAGS="-std=c++20 -O2 -I $SRC_DIR/src -c $SRC_DIR/src/dram/channel.cc"
+
+if ! "$CXX" $FLAGS -DTDRAM_STATS=1 -o "$TMP/on.o"; then
+    echo "FAIL: TDRAM_STATS=1 compile of channel.cc failed"
+    exit 1
+fi
+if ! "$CXX" $FLAGS -DTDRAM_STATS=0 -o "$TMP/off.o"; then
+    echo "FAIL: TDRAM_STATS=0 compile of channel.cc failed"
+    exit 1
+fi
+
+if ! nm -C "$TMP/on.o" | grep -q 'Histogram::sampleOverflow'; then
+    echo "FAIL: TDRAM_STATS=1 object lacks a" \
+         "Histogram::sampleOverflow reference - the guard no longer" \
+         "proves anything"
+    exit 1
+fi
+
+if nm -C "$TMP/off.o" | grep -q 'Histogram::sample'; then
+    echo "FAIL: TDRAM_STATS=0 object still references" \
+         "Histogram sampling - stats updates were not compiled out"
+    nm -C "$TMP/off.o" | grep 'Histogram::sample'
+    exit 1
+fi
+
+# The gated-off object must also be no larger than the stats-on one.
+ON_SIZE=$(wc -c < "$TMP/on.o")
+OFF_SIZE=$(wc -c < "$TMP/off.o")
+if [ "$OFF_SIZE" -gt "$ON_SIZE" ]; then
+    echo "FAIL: TDRAM_STATS=0 object ($OFF_SIZE B) is larger than" \
+         "TDRAM_STATS=1 ($ON_SIZE B)"
+    exit 1
+fi
+
+echo "PASS: stats updates gate correctly" \
+     "(on: $ON_SIZE B, off: $OFF_SIZE B)"
+exit 0

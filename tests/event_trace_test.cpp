@@ -8,8 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -139,6 +141,86 @@ TEST(TraceBuffer, MemoryOnlyRingWrapsAndCountsDrops)
         EXPECT_EQ(snap[i].seq, 6 + i);
         EXPECT_EQ(snap[i].addr, 0x1000 + 6 + i);
     }
+}
+
+TEST(TraceBuffer, DroppedTotalSumsAcrossChannels)
+{
+    Tracer tracer("", 2, 2);  // no sink: rings wrap
+    for (std::uint64_t i = 0; i < 5; ++i)
+        tracer.buffer(0).record(TraceKind::Read, i, i, 0, 0, 0);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        tracer.buffer(1).record(TraceKind::Write, i, i, 0, 0, 0);
+
+    EXPECT_EQ(tracer.buffer(0).dropped(), 3u);
+    EXPECT_EQ(tracer.buffer(1).dropped(), 2u);
+    EXPECT_EQ(tracer.droppedTotal(), 5u);
+}
+
+TEST(TraceSummary, ReportsPerChannelCountsDropsAndSeqGaps)
+{
+    // A clean sinked trace: full rings spill, so nothing drops and
+    // the header's drop count stays zero.
+    const std::string path = tmpPath("trace_drops.tdt");
+    {
+        Tracer tracer(path, 2, 4);
+        for (std::uint64_t i = 0; i < 4; ++i)
+            tracer.buffer(0).record(TraceKind::Read, 10 * i, i, 0, 0,
+                                    0);
+        for (std::uint64_t i = 0; i < 2; ++i)
+            tracer.buffer(1).record(TraceKind::Write, 100 + i, i, 0, 0,
+                                    0);
+        tracer.flushAll();
+        EXPECT_EQ(tracer.droppedTotal(), 0u);
+    }
+    {
+        TraceLoadResult res = loadTrace(path);
+        ASSERT_TRUE(res.ok) << res.error;
+        EXPECT_EQ(res.trace.header.droppedCount, 0u);
+        const TraceSummary s = summarizeTrace(res.trace);
+        ASSERT_EQ(s.perChannel.size(), 2u);
+        EXPECT_EQ(s.perChannel.at(0), 4u);
+        EXPECT_EQ(s.perChannel.at(1), 2u);
+        EXPECT_EQ(s.dropped, 0u);
+        EXPECT_EQ(s.seqMissing, 0u);
+        std::ostringstream os;
+        printTraceSummary(os, s, res.trace, false);
+        EXPECT_EQ(os.str().find("WARNING"), std::string::npos);
+        EXPECT_NE(os.str().find("ch0 4"), std::string::npos);
+        EXPECT_NE(os.str().find("ch1 2"), std::string::npos);
+    }
+
+    // Forge an incomplete trace from the clean one: claim 4 ring
+    // drops in the header and punch a hole in the emission seqs by
+    // bumping the last record's seq from 5 to 9.
+    std::vector<char> bytes = readAll(path);
+    const std::size_t drop_off =
+        offsetof(TraceFileHeader, droppedCount);
+    bytes[drop_off] = 4;
+    const std::size_t last_seq_off = sizeof(TraceFileHeader) +
+                                     5 * sizeof(TraceRecord) +
+                                     offsetof(TraceRecord, seq);
+    bytes[last_seq_off] = 9;
+    {
+        std::ofstream out(path, std::ios::binary);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+
+    TraceLoadResult res = loadTrace(path);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.trace.header.droppedCount, 4u);
+    const TraceSummary s = summarizeTrace(res.trace);
+    EXPECT_EQ(s.records, 6u);
+    EXPECT_EQ(s.dropped, 4u);
+    EXPECT_EQ(s.seqMissing, 4u);  // seqs 5..8 absent, max seq 9
+
+    std::ostringstream os;
+    printTraceSummary(os, s, res.trace, false);
+    EXPECT_NE(os.str().find("WARNING: incomplete trace"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("4 ring-wrap drops"), std::string::npos);
+    EXPECT_NE(os.str().find("4 emission seq(s) absent"),
+              std::string::npos);
 }
 
 TEST(TraceLoader, RejectsCorruptFiles)

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Golden-trace determinism gate (CI: the "determinism" job).
 #
-# Five checks, all byte-exact:
+# Six checks, all byte-exact:
 #  1. Same-config repeatability: the integration config run twice must
 #     produce identical stats dumps, CSV rows, and .tdt event traces.
 #  2. Serial vs parallel: a capacity_sweep grid with --jobs 1 and
@@ -16,6 +16,11 @@
 #     policy must produce identical stats/CSV and .tdt traces at
 #     --threads 1, 2, and 4 with the protocol checker enabled
 #     (DESIGN.md §12: thread count only remaps shards to OS threads).
+#  6. Front-end equivalence: the same matrix must hash to the golden
+#     stats/trace sha256s captured before the zero-alloc front-end
+#     rewrite (tests/goldens/frontend_equiv.sha256), at --threads 1
+#     and 4 — the rewrite and the event bus are pure host-side
+#     optimizations with no simulated-behaviour footprint.
 #
 # Usage: tests/run_determinism.sh [BUILD_DIR]   (default: build)
 
@@ -37,7 +42,7 @@ done
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 
-echo "=== [1/5] same-config repeatability (tdram_cli run) ==="
+echo "=== [1/6] same-config repeatability (tdram_cli run) ==="
 for i in 1 2; do
     "$CLI" run is.C TDRAM --ops 4000 --csv --stats \
         --trace "$WORK/run$i.tdt" > "$WORK/run$i.out"
@@ -51,7 +56,7 @@ cmp "$WORK/run1.out" "$WORK/run2.out" || {
     exit 1
 }
 
-echo "=== [2/5] serial vs parallel sweep ==="
+echo "=== [2/6] serial vs parallel sweep ==="
 "$SWEEP" is.C 3000 --jobs 1 --trace "$WORK/serial" > "$WORK/serial.csv"
 "$SWEEP" is.C 3000 --jobs 4 --trace "$WORK/par" > "$WORK/par.csv"
 cmp "$WORK/serial.csv" "$WORK/par.csv" || {
@@ -70,7 +75,7 @@ done
 [ "$njobs" -gt 0 ] || { echo "FAIL: sweep produced no traces"; exit 1; }
 echo "($njobs per-job traces identical)"
 
-echo "=== [3/5] perturbation canary ==="
+echo "=== [3/6] perturbation canary ==="
 cp "$WORK/run1.tdt" "$WORK/perturbed.tdt"
 # Flip one byte inside the first record's tick field (header is 32 B).
 printf '\xff' | dd of="$WORK/perturbed.tdt" bs=1 seek=32 count=1 \
@@ -88,7 +93,7 @@ grep -q "first divergence" "$WORK/canary.out" || {
 echo "canary detected:"
 sed -n '1,3p' "$WORK/canary.out"
 
-echo "=== [4/5] sharded repeatability + threaded canary ==="
+echo "=== [4/6] sharded repeatability + threaded canary ==="
 "$CLI" run is.C TDRAM --ops 4000 --csv --stats --threads 2 \
     --trace "$WORK/t2a.tdt" > "$WORK/t2a.out"
 "$CLI" run is.C TDRAM --ops 4000 --csv --stats --threads 2 \
@@ -124,7 +129,7 @@ grep -q "first divergence" "$WORK/t_canary.out" || {
     exit 1
 }
 
-echo "=== [5/5] sharded thread-invariance matrix (with --check) ==="
+echo "=== [5/6] sharded thread-invariance matrix (with --check) ==="
 for design in CascadeLake Alloy NDC TDRAM; do
     for page in "" "--open-page"; do
         for n in 1 2 4; do
@@ -148,5 +153,36 @@ for design in CascadeLake Alloy NDC TDRAM; do
         echo "$design ${page:-closed-page}: threads 1/2/4 identical"
     done
 done
+
+echo "=== [6/6] front-end equivalence vs pre-rewrite goldens ==="
+GOLDEN="tests/goldens/frontend_equiv.sha256"
+[ -f "$GOLDEN" ] || { echo "FAIL: missing $GOLDEN"; exit 1; }
+sha() { sha256sum "$1" | cut -d' ' -f1; }
+while read -r design page out_gold tdt_gold; do
+    [ -n "$design" ] || continue
+    page_flag=""
+    [ "$page" = "open" ] && page_flag="--open-page"
+    for n in 1 4; do
+        "$CLI" run is.C "$design" --ops 1500 --csv --stats \
+            --check $page_flag --threads "$n" \
+            --trace "$WORK/g.tdt" > "$WORK/g.out" || {
+            echo "FAIL: $design $page --threads $n exited nonzero"
+            exit 1
+        }
+        out_now=$(sha "$WORK/g.out")
+        tdt_now=$(sha "$WORK/g.tdt")
+        if [ "$out_now" != "$out_gold" ]; then
+            echo "FAIL: $design $page --threads $n stats/CSV hash" \
+                 "$out_now != golden $out_gold"
+            exit 1
+        fi
+        if [ "$tdt_now" != "$tdt_gold" ]; then
+            echo "FAIL: $design $page --threads $n trace hash" \
+                 "$tdt_now != golden $tdt_gold"
+            exit 1
+        fi
+    done
+    echo "$design $page: matches pre-rewrite golden (threads 1, 4)"
+done < "$GOLDEN"
 
 echo "determinism gate PASSED"
