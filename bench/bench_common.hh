@@ -32,6 +32,7 @@ struct Options
     std::uint64_t seed = 1;
     unsigned jobs = 0;            ///< workers; 0 = hardware_concurrency
     std::string tracePrefix;      ///< .tdt per run when non-empty
+    std::string replayPath;       ///< .tdtz replay source when non-empty
 };
 
 inline Options
@@ -55,10 +56,14 @@ parseArgs(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--trace") == 0 &&
                    i + 1 < argc) {
             o.tracePrefix = argv[++i];
+        } else if (std::strcmp(argv[i], "--replay") == 0 &&
+                   i + 1 < argc) {
+            o.replayPath = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: %s [--full] [--ops N] [--warmup N] "
-                         "[--seed N] [--jobs N] [--trace PREFIX]\n",
+                         "[--seed N] [--jobs N] [--trace PREFIX] "
+                         "[--replay FILE.tdtz]\n",
                          argv[0]);
             std::exit(1);
         }
@@ -81,6 +86,7 @@ baseConfig(const Options &o, tsim::Design d)
     cfg.cores.opsPerCore = o.opsPerCore;
     cfg.warmupOpsPerCore = o.warmupOpsPerCore;
     cfg.seed = o.seed;
+    cfg.replay.path = o.replayPath;
     return cfg;
 }
 

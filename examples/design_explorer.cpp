@@ -12,12 +12,18 @@
  *    host throughput goes to stderr.
  *
  * Usage: design_explorer [workload] [design] [opsPerCore]
- *                        [--trace PATH]
+ *                        [--trace PATH] [--replay FILE.tdtz]
+ *                        [--replay-mode timed|afap]
  *        design_explorer --sweep [--full] [--jobs N] [--ops N]
- *                        [--trace PREFIX]
+ *                        [--trace PREFIX] [--replay FILE.tdtz]
+ *                        [--replay-mode timed|afap]
  *
  * --trace writes .tdt event traces (single run: exactly PATH; sweep:
  * PREFIX_jobNNN.tdt per grid point, byte-identical for any --jobs).
+ * --replay drives every run with a recorded .tdtz request stream
+ * instead of the synthetic generators; in sweep mode each job opens
+ * its own decoder cursor on the shared file, so serial and --jobs N
+ * sweeps stay byte-identical.
  */
 
 #include <cstdio>
@@ -51,7 +57,8 @@ parseDesign(const std::string &s)
 
 int
 runSweep(bool full, unsigned jobs, std::uint64_t ops,
-         const std::string &trace_prefix)
+         const std::string &trace_prefix,
+         const tsim::ReplayConfig &replay)
 {
     using namespace tsim;
 
@@ -68,6 +75,7 @@ runSweep(bool full, unsigned jobs, std::uint64_t ops,
             SweepJob job;
             job.cfg.design = d;
             job.cfg.cores.opsPerCore = ops;
+            job.cfg.replay = replay;
             job.workload = wl;
             sweep.push_back(std::move(job));
         }
@@ -112,6 +120,7 @@ main(int argc, char **argv)
     unsigned jobs = 0;
     std::uint64_t ops = 20000;
     std::string trace_path;
+    ReplayConfig replay;
     std::vector<std::string> positional;
 
     for (int i = 1; i < argc; ++i) {
@@ -127,13 +136,23 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--trace") == 0 &&
                    i + 1 < argc) {
             trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--replay") == 0 &&
+                   i + 1 < argc) {
+            replay.path = argv[++i];
+        } else if (std::strcmp(argv[i], "--replay-mode") == 0 &&
+                   i + 1 < argc) {
+            if (!parseReplayMode(argv[++i], replay.mode)) {
+                std::fprintf(stderr,
+                             "--replay-mode wants timed or afap\n");
+                return 1;
+            }
         } else {
             positional.push_back(argv[i]);
         }
     }
 
     if (sweep)
-        return runSweep(full, jobs, ops, trace_path);
+        return runSweep(full, jobs, ops, trace_path, replay);
 
     const std::string wl_name =
         positional.size() > 0 ? positional[0] : "ft.C";
@@ -146,12 +165,18 @@ main(int argc, char **argv)
     cfg.design = parseDesign(design);
     cfg.cores.opsPerCore = ops;
     cfg.tracePath = trace_path;
+    cfg.replay = replay;
 
     System sys(cfg, findWorkload(wl_name));
     SimReport r = sys.run();
 
     std::printf("== %s on %s ==\n", r.design.c_str(),
                 r.workload.c_str());
+    if (!r.replaySource.empty()) {
+        std::printf("replay           %s (%s, %llu records)\n",
+                    r.replaySource.c_str(), r.replayMode.c_str(),
+                    (unsigned long long)r.replayRecords);
+    }
     std::printf("runtime          %.1f us\n", r.runtimeNs() / 1e3);
     std::printf("demands          %llu reads, %llu writes\n",
                 (unsigned long long)r.demandReads,

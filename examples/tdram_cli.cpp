@@ -47,6 +47,9 @@ struct CliOptions
     bool csv = false;
     bool check = false;  ///< inline protocol checker on every run
     std::string tracePath;  ///< .tdt output (run) / prefix (others)
+    std::string replayPath; ///< .tdtz input (replay front end)
+    ReplayMode replayMode = ReplayMode::Timed;
+    unsigned replayMlp = 0;  ///< outstanding-read cap; 0 = unlimited
     bool threadsSet = false;  ///< --threads given (0 = single-queue)
     unsigned threads = 0;     ///< shard-engine execution threads
     std::uint64_t window = 0; ///< shard window override in ticks
@@ -65,8 +68,17 @@ usage()
         "         --ways W --no-probe --open-page --predictor\n"
         "         --stats --csv --trace PATH --check\n"
         "         --threads N --window TICKS\n"
+        "         --replay FILE.tdtz --replay-mode timed|afap\n"
+        "         --replay-mlp N\n"
         "  --trace writes a .tdt event trace (run: exactly PATH;\n"
         "  compare/sweep: PATH is a prefix, one file per run)\n"
+        "  --replay drives the run with a recorded .tdtz request\n"
+        "  stream instead of the synthetic generators (make one with\n"
+        "  'trace_tool convert'); --warmup then counts records. The\n"
+        "  workload argument still names the run. timed replays at\n"
+        "  the recorded inter-arrival times; afap issues as fast as\n"
+        "  the controller accepts. --replay-mlp caps outstanding\n"
+        "  reads (0 = unlimited).\n"
         "  --check audits every command with the inline protocol\n"
         "  checker (exit 1 on any violation)\n"
         "  --threads runs the sharded engine (one shard per DRAM\n"
@@ -113,6 +125,20 @@ parseOptions(int argc, char **argv, int first)
             if (i + 1 >= argc)
                 usage();
             o.tracePath = argv[++i];
+        } else if (a == "--replay") {
+            if (i + 1 >= argc)
+                usage();
+            o.replayPath = argv[++i];
+        } else if (a == "--replay-mode") {
+            if (i + 1 >= argc)
+                usage();
+            if (!parseReplayMode(argv[++i], o.replayMode)) {
+                std::fprintf(stderr,
+                             "--replay-mode wants timed or afap\n");
+                usage();
+            }
+        } else if (a == "--replay-mlp") {
+            o.replayMlp = static_cast<unsigned>(next());
         } else if (a == "--check") {
             o.check = true;
         } else if (a == "--threads") {
@@ -168,6 +194,9 @@ makeConfig(const CliOptions &o, Design d)
     cfg.warmupOpsPerCore = o.warmup;
     cfg.seed = o.seed;
     cfg.checkProtocol = o.check;
+    cfg.replay.path = o.replayPath;
+    cfg.replay.mode = o.replayMode;
+    cfg.replay.mlp = o.replayMlp;
     if (o.threadsSet) {
         cfg.threads = o.threads;
         cfg.shardWindow = o.window;
@@ -221,6 +250,11 @@ printHuman(const SimReport &r)
     if (r.probes)
         std::printf("  probes         %10llu\n",
                     (unsigned long long)r.probes);
+    if (!r.replaySource.empty()) {
+        std::printf("  replay         %s (%s, %llu records)\n",
+                    r.replaySource.c_str(), r.replayMode.c_str(),
+                    (unsigned long long)r.replayRecords);
+    }
 }
 
 int

@@ -1,41 +1,65 @@
 /**
  * @file
- * Trace replay: shows the lower-level public API by assembling a
- * system by hand — MainMemory, a DRAM-cache design, and a CoreEngine
- * fed by a captured memory trace instead of a synthetic profile.
+ * Trace replay end-to-end: the record-once / replay-many pipeline
+ * from DESIGN.md §14 in one self-contained program.
  *
- * With no arguments it first synthesizes a small trace file (so the
- * example is self-contained), then replays it on TDRAM.
+ * With no arguments it synthesizes a small text request list (so the
+ * example runs stand-alone), packs it into a .tdtz container, and
+ * replays the container on TDRAM through the same System harness the
+ * benchmarks use. Pass an existing .tdtz to replay that instead.
  *
- * Usage: trace_replay [trace_file] [design]
+ * Usage: trace_replay [trace.tdtz] [design] [timed|afap]
  */
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "system/system.hh"
-#include "workload/trace.hh"
+#include "trace/tdtz.hh"
 
 namespace
 {
 
-/** Synthesize a small mixed trace so the example runs stand-alone. */
-tsim::Trace
-makeDemoTrace()
+/** Synthesize a small mixed request stream: a strided sweep with a
+ *  hot random region, 30% stores, ~4 ns apart. */
+std::vector<tsim::ReplayRecord>
+makeDemoStream()
 {
     using namespace tsim;
-    Trace t;
+    std::vector<ReplayRecord> out;
     Rng rng(2024);
-    // A strided sweep with a hot random region, 30% stores.
     for (int i = 0; i < 30000; ++i) {
+        ReplayRecord r;
         if (i % 3 == 0) {
-            t.add(rng.range(1 << 10) * lineBytes, rng.chance(0.5));
+            r.addr = rng.range(1 << 10) * lineBytes;
+            r.isWrite = rng.chance(0.5);
         } else {
-            t.add((static_cast<Addr>(i) * 2 % (1 << 16)) * lineBytes,
-                  rng.chance(0.3));
+            r.addr =
+                (static_cast<Addr>(i) * 2 % (1 << 16)) * lineBytes;
+            r.isWrite = rng.chance(0.3);
         }
+        r.delta = nsToTicks(4.0);
+        out.push_back(r);
     }
-    return t;
+    return out;
+}
+
+tsim::Design
+parseDesign(const std::string &s)
+{
+    using tsim::Design;
+    const Design all[] = {Design::CascadeLake, Design::Alloy,
+                          Design::Bear,        Design::Ndc,
+                          Design::Tdram,       Design::TdramNoProbe,
+                          Design::Ideal,       Design::NoCache};
+    for (Design d : all) {
+        if (s == tsim::designName(d))
+            return d;
+    }
+    std::fprintf(stderr, "unknown design '%s'\n", s.c_str());
+    std::exit(1);
 }
 
 } // namespace
@@ -46,53 +70,53 @@ main(int argc, char **argv)
     using namespace tsim;
 
     std::string path = argc > 1 ? argv[1] : "";
+    const std::string design = argc > 2 ? argv[2] : "TDRAM";
+    ReplayMode mode = ReplayMode::Timed;
+    if (argc > 3 && !parseReplayMode(argv[3], mode)) {
+        std::fprintf(stderr, "replay mode wants timed or afap\n");
+        return 1;
+    }
+
     if (path.empty()) {
-        path = "/tmp/tdram_demo.trace";
-        makeDemoTrace().save(path);
-        std::printf("synthesized demo trace at %s\n", path.c_str());
-    }
-    const Trace trace = Trace::load(path);
-    std::printf("trace: %zu ops, footprint bound 0x%llx\n",
-                trace.size(), (unsigned long long)trace.maxAddr());
-
-    // --- assemble the system by hand ---
-    EventQueue eq;
-
-    MainMemoryConfig mm_cfg;
-    std::uint64_t cap = 1 << 26;
-    while (cap < trace.maxAddr())
-        cap <<= 1;
-    mm_cfg.capacityBytes = cap;
-    MainMemory mm(eq, "mm", mm_cfg);
-
-    DramCacheConfig dc_cfg;
-    dc_cfg.capacityBytes = 4ULL << 20;
-    auto dcache = makeDramCache(eq, Design::Tdram, dc_cfg, mm);
-
-    CoreConfig core_cfg;
-    core_cfg.cores = 4;
-    core_cfg.opsPerCore = trace.size() / core_cfg.cores;
-    std::vector<std::unique_ptr<AddressGenerator>> gens;
-    for (unsigned c = 0; c < core_cfg.cores; ++c) {
-        gens.push_back(std::make_unique<TraceReplayGenerator>(
-            trace, c, core_cfg.cores));
-    }
-    CoreEngine engine(eq, "engine", core_cfg, std::move(gens), *dcache,
-                      1);
-
-    engine.warmup(2000);
-    engine.start();
-    while (!engine.done() && eq.step()) {
+        // Record once: pack the demo stream into a container.
+        path = "/tmp/tdram_demo.tdtz";
+        TdtzWriter writer(path);
+        for (const ReplayRecord &r : makeDemoStream())
+            writer.append(r);
+        writer.finish();
+        std::printf("synthesized demo container at %s\n",
+                    path.c_str());
     }
 
-    std::printf("\nreplayed on TDRAM:\n");
-    std::printf("  runtime          %.1f us\n",
-                ticksToNs(engine.finishTick()) / 1e3);
-    std::printf("  dcache miss      %.3f\n", dcache->missRatio());
-    std::printf("  tag check        %.2f ns\n",
-                dcache->meanTagCheckLatencyNs());
+    TdtzReader probe;
+    if (!probe.open(path)) {
+        std::fprintf(stderr, "trace_replay: %s\n",
+                     probe.error().c_str());
+        return 1;
+    }
+    std::printf("container: %llu records, footprint bound 0x%llx\n",
+                (unsigned long long)probe.info().records,
+                (unsigned long long)probe.info().maxLineAddr);
+
+    // Replay many: any design, any pacing mode, same container.
+    SystemConfig cfg;
+    cfg.design = parseDesign(design);
+    cfg.replay.path = path;
+    cfg.replay.mode = mode;
+    cfg.warmupOpsPerCore = 2000;
+
+    System sys(cfg, findWorkload("is.C"));
+    SimReport r = sys.run();
+
+    std::printf("\nreplayed on %s (%s):\n", r.design.c_str(),
+                r.replayMode.c_str());
+    std::printf("  records          %llu\n",
+                (unsigned long long)r.replayRecords);
+    std::printf("  runtime          %.1f us\n", r.runtimeNs() / 1e3);
+    std::printf("  dcache miss      %.3f\n", r.missRatio);
+    std::printf("  tag check        %.2f ns\n", r.tagCheckNs);
     std::printf("  read latency     %.2f ns\n",
-                engine.demandReadLatency.mean());
-    std::printf("  bloat factor     %.2f\n", dcache->bloatFactor());
+                r.demandReadLatencyNs);
+    std::printf("  bloat factor     %.2f\n", r.bloat);
     return 0;
 }

@@ -24,9 +24,18 @@ pow2Ceil(std::uint64_t v)
 System::System(const SystemConfig &cfg, const WorkloadProfile &workload)
     : _cfg(cfg), _workload(workload)
 {
-    // Size main memory to cover the scattered physical footprint.
-    const std::uint64_t space =
-        physicalSpaceBytes(workload, cfg.dcacheCapacity);
+    // Size main memory to cover the physical footprint: the synthetic
+    // profiles declare theirs; a replayed trace carries its bound in
+    // the .tdtz footer (no decoding needed to read it).
+    std::uint64_t space;
+    if (!cfg.replay.path.empty()) {
+        TdtzReader probe;
+        fatal_if(!probe.open(cfg.replay.path), "replay: %s",
+                 probe.error().c_str());
+        space = probe.info().maxLineAddr;
+    } else {
+        space = physicalSpaceBytes(workload, cfg.dcacheCapacity);
+    }
     MainMemoryConfig mm_cfg;
     mm_cfg.channels = cfg.mmChannels;
     mm_cfg.capacityBytes =
@@ -87,13 +96,19 @@ System::System(const SystemConfig &cfg, const WorkloadProfile &workload)
         _shard->setWindow(w);
     }
 
-    std::vector<std::unique_ptr<AddressGenerator>> gens;
-    for (unsigned c = 0; c < cfg.cores.cores; ++c) {
-        gens.push_back(makeGenerator(workload, c, cfg.cores.cores,
-                                     cfg.dcacheCapacity));
+    if (!cfg.replay.path.empty()) {
+        _engine = std::make_unique<TraceReplayEngine>(
+            _eq, "engine", cfg.replay, *_dcache);
+    } else {
+        std::vector<std::unique_ptr<AddressGenerator>> gens;
+        for (unsigned c = 0; c < cfg.cores.cores; ++c) {
+            gens.push_back(makeGenerator(workload, c, cfg.cores.cores,
+                                         cfg.dcacheCapacity));
+        }
+        _engine = std::make_unique<CoreEngine>(
+            _eq, "engine", cfg.cores, std::move(gens), *_dcache,
+            cfg.seed);
     }
-    _engine = std::make_unique<CoreEngine>(
-        _eq, "engine", cfg.cores, std::move(gens), *_dcache, cfg.seed);
 
     if (!cfg.tracePath.empty() && traceCompiledIn()) {
         // Buffer layout: dcache channels, then mm channels, then one
@@ -279,7 +294,7 @@ System::collectReport(std::uint64_t events, double host_seconds)
         r.mmReadQueueDelayNs =
             count ? sum / static_cast<double>(count) : 0.0;
     }
-    r.demandReadLatencyNs = _engine->demandReadLatency.mean();
+    r.demandReadLatencyNs = _engine->meanDemandReadLatencyNs();
     r.bloat = _dcache->bloatFactor();
     r.unusefulFrac = _dcache->unusefulFraction();
 
@@ -299,8 +314,15 @@ System::collectReport(std::uint64_t events, double host_seconds)
     }
     r.flushAvgOcc /= _dcache->numChannels();
     r.predictorAccuracy = _dcache->predictorAccuracy();
-    r.backpressureStalls = static_cast<std::uint64_t>(
-        _engine->backpressureStalls.value());
+    r.backpressureStalls = _engine->backpressureStallCount();
+    if (!_cfg.replay.path.empty()) {
+        r.replaySource = _cfg.replay.path;
+        r.replayMode = replayModeName(_cfg.replay.mode);
+        const auto *replay =
+            dynamic_cast<const TraceReplayEngine *>(_engine.get());
+        if (replay)
+            r.replayRecords = replay->traceInfo().records;
+    }
     r.hostPerf.events = events;
     r.hostPerf.simTicks = r.runtimeTicks;
     r.hostPerf.hostSeconds = host_seconds;

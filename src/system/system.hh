@@ -21,6 +21,7 @@
 #include "stats/host_perf.hh"
 #include "workload/core_engine.hh"
 #include "workload/profiles.hh"
+#include "workload/replay_engine.hh"
 
 namespace tsim
 {
@@ -46,6 +47,16 @@ struct SystemConfig
     CoreConfig cores{};
     std::uint64_t warmupOpsPerCore = 200000;
     std::uint64_t seed = 1;
+
+    /**
+     * Trace-replay front end (DESIGN.md §14): when replay.path is
+     * non-empty the System drives the DRAM cache with the recorded
+     * .tdtz request stream instead of the synthetic CoreEngine, main
+     * memory is sized from the trace's footprint bound, and
+     * warmupOpsPerCore becomes a record budget for functional
+     * warm-up. The workload profile still names the run.
+     */
+    ReplayConfig replay{};
 
     /**
      * Event-trace output (.tdt); empty disables tracing. Per-run
@@ -119,6 +130,15 @@ struct SimReport
     std::uint64_t backpressureStalls = 0;
 
     /**
+     * Replay provenance: the .tdtz source, pacing mode, and record
+     * count when the run was trace-driven; empty/zero for synthetic
+     * runs. Carried so archived reports say what produced them.
+     */
+    std::string replaySource;
+    std::string replayMode;
+    std::uint64_t replayRecords = 0;
+
+    /**
      * Host-side throughput of the run (events executed, wall time).
      * Not deterministic across hosts or runs — excluded from any
      * byte-identical output comparison.
@@ -147,7 +167,22 @@ class System
     EventQueue &eventQueue() { return _eq; }
     DramCacheCtrl &dcache() { return *_dcache; }
     MainMemory &mainMemory() { return *_mm; }
-    CoreEngine &engine() { return *_engine; }
+    RequestEngine &engine() { return *_engine; }
+
+    /** The synthetic front end, or null for trace-driven runs. */
+    CoreEngine *
+    coreEngine()
+    {
+        return dynamic_cast<CoreEngine *>(_engine.get());
+    }
+
+    /** The replay front end, or null for synthetic runs. */
+    TraceReplayEngine *
+    replayEngine()
+    {
+        return dynamic_cast<TraceReplayEngine *>(_engine.get());
+    }
+
     const SystemConfig &config() const { return _cfg; }
     Tracer *tracer() { return _tracer.get(); }
     ProtocolChecker *checker() { return _checker.get(); }
@@ -172,7 +207,7 @@ class System
     std::unique_ptr<ShardSim> _shard;
     std::unique_ptr<MainMemory> _mm;
     std::unique_ptr<DramCacheCtrl> _dcache;
-    std::unique_ptr<CoreEngine> _engine;
+    std::unique_ptr<RequestEngine> _engine;
     std::unique_ptr<Tracer> _tracer;
     std::unique_ptr<ProtocolChecker> _checker;
     /**

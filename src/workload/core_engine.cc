@@ -9,7 +9,7 @@ CoreEngine::CoreEngine(
     EventQueue &eq, std::string name, const CoreConfig &cfg,
     std::vector<std::unique_ptr<AddressGenerator>> gens,
     DramCacheCtrl &dcache, std::uint64_t seed)
-    : SimObject(eq, std::move(name)), _cfg(cfg), _dcache(dcache),
+    : RequestEngine(eq, std::move(name)), _cfg(cfg), _dcache(dcache),
       _llc("llc", cfg.llcBytes, cfg.llcWays, cfg.llcLatency),
       _rng(seed)
 {

@@ -23,6 +23,7 @@
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 #include "workload/generator.hh"
+#include "workload/request_engine.hh"
 
 namespace tsim
 {
@@ -47,7 +48,7 @@ struct CoreConfig
 };
 
 /** Drives the whole hierarchy with one workload. */
-class CoreEngine : public SimObject
+class CoreEngine : public RequestEngine
 {
   public:
     /**
@@ -58,20 +59,20 @@ class CoreEngine : public SimObject
                DramCacheCtrl &dcache, std::uint64_t seed);
 
     /** Schedule the first issue event of every core. */
-    void start();
+    void start() override;
 
     /** True once every core issued and retired all its operations. */
-    bool done() const { return _coresDone == _cfg.cores; }
+    bool done() const override { return _coresDone == _cfg.cores; }
 
     /** Tick at which the last core finished. */
-    Tick finishTick() const { return _finishTick; }
+    Tick finishTick() const override { return _finishTick; }
 
     /**
      * Warm the functional state (L1s, LLC, DRAM-cache tags) with
      * @p ops_per_core operations per core, consuming no simulated
      * time. Mirrors the paper's warmed-up checkpoints (§IV-B).
      */
-    void warmup(std::uint64_t ops_per_core);
+    void warmup(std::uint64_t ops_per_core) override;
 
     /** @name Statistics. */
     /// @{
@@ -82,13 +83,25 @@ class CoreEngine : public SimObject
     Histogram demandReadLatency{4.0, 512};  ///< ns at the core
     /// @}
 
+    double
+    meanDemandReadLatencyNs() const override
+    {
+        return demandReadLatency.mean();
+    }
+
+    std::uint64_t
+    backpressureStallCount() const override
+    {
+        return static_cast<std::uint64_t>(backpressureStalls.value());
+    }
+
     SramCache &llc() { return _llc; }
     SramCache &l1(unsigned core) { return *_l1s[core]; }
 
-    void regStats(StatGroup &g) const;
+    void regStats(StatGroup &g) const override;
 
     /** Print per-core live state (deadlock debugging). */
-    void dumpDebug(std::FILE *f) const;
+    void dumpDebug(std::FILE *f) const override;
 
   private:
     /**

@@ -1,0 +1,46 @@
+#!/bin/sh
+# Gate a BENCH_replay.json produced by bench/micro_replay:
+#
+#   - checksum_match must be true (the decoded .tdtz record stream is
+#     bit-equal to the captured demand stream);
+#   - compression_ratio must be >= 2.0 against the 24 B/record flat
+#     encoding on the reference trace — the container's reason to
+#     exist; a drop means a frame/varint regression.
+#
+# Usage: check_replay_bench.sh <BENCH_replay.json>
+# Exit 0 when all gates pass, 1 otherwise.
+set -u
+
+JSON="${1:?usage: check_replay_bench.sh <BENCH_replay.json>}"
+[ -f "$JSON" ] || { echo "FAIL: no such file: $JSON"; exit 1; }
+
+fail=0
+
+if ! grep -q '"checksum_match": true' "$JSON"; then
+    echo "FAIL: decoded-stream checksum mismatch in $JSON"
+    fail=1
+fi
+
+ratio=$(awk '
+    /"compression_ratio"/ {
+        if (match($0, /[0-9.]+/))
+            printf "%s", substr($0, RSTART, RLENGTH)
+    }' "$JSON")
+if [ -z "$ratio" ]; then
+    echo "FAIL: no compression_ratio in $JSON"
+    fail=1
+elif ! awk "BEGIN { exit !($ratio >= 2.0) }"; then
+    echo "FAIL: compression_ratio $ratio < 2.0"
+    fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+    codec=$(awk '
+        /"codec"/ {
+            if (match($0, /: "[a-z]+"/))
+                printf "%s", substr($0, RSTART + 3, RLENGTH - 4)
+        }' "$JSON")
+    echo "replay bench gate PASSED:" \
+         "ratio ${ratio}x (codec ${codec}), checksums match"
+fi
+exit "$fail"

@@ -44,11 +44,13 @@ TEST_P(EndToEnd, CompletesAndConserves)
 
     EXPECT_GT(r.runtimeTicks, 0u);
     // Every issued demand completed.
-    EXPECT_EQ(sys.engine().demandReadsIssued.value(),
+    CoreEngine *engine = sys.coreEngine();
+    ASSERT_NE(engine, nullptr);
+    EXPECT_EQ(engine->demandReadsIssued.value(),
               static_cast<double>(r.demandReads));
-    EXPECT_EQ(sys.engine().demandWritesIssued.value(),
+    EXPECT_EQ(engine->demandWritesIssued.value(),
               static_cast<double>(r.demandWrites));
-    EXPECT_EQ(sys.engine().opsRetired.value(),
+    EXPECT_EQ(engine->opsRetired.value(),
               static_cast<double>(cfg.cores.cores) *
                   cfg.cores.opsPerCore);
     // Outcome fractions sum to 1 (when any demands exist).

@@ -21,6 +21,15 @@
  *       trace through the same rule engine the inline checker runs
  *       and report the first violations with per-channel context.
  *       Exit 0 when clean; exit 1 on any violation.
+ *   trace_tool convert <in> <out.tdtz> [--codec zstd|none]
+ *                      [--frame-records N]
+ *       Build a compressed replay container (DESIGN.md §14). The
+ *       input is either a .tdt event trace (its demand stream is
+ *       projected) or a text request list (`R|W <addr> [<size>
+ *       [<delta_ns>]]`, '#' comments).
+ *   trace_tool info <file.tdtz>
+ *       Decode-free container inspection: header, footer summary,
+ *       and the frame index.
  */
 
 #include <cstdio>
@@ -31,6 +40,7 @@
 #include <vector>
 
 #include "check/offline.hh"
+#include "trace/tdtz.hh"
 #include "trace/trace.hh"
 #include "trace/trace_analysis.hh"
 
@@ -54,7 +64,10 @@ usage()
         "        [--page open|close] [--channels N] [--mm-channels N]"
         "\n"
         "        [--banks N] [--flush-entries N] [--context N]\n"
-        "  check --rules\n");
+        "  check --rules\n"
+        "  convert <in.tdt|in.txt> <out.tdtz> [--codec zstd|none]\n"
+        "          [--frame-records N]\n"
+        "  info <file.tdtz>\n");
     std::exit(2);
 }
 
@@ -235,6 +248,129 @@ cmdCheck(int argc, char **argv)
     return 1;
 }
 
+/** True when the file starts with the .tdt event-trace magic. */
+bool
+isTdtFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::uint32_t magic = 0;
+    const bool got = std::fread(&magic, sizeof(magic), 1, f) == 1;
+    std::fclose(f);
+    return got && magic == TraceFileHeader::magicValue;
+}
+
+int
+cmdConvert(int argc, char **argv)
+{
+    if (argc < 4)
+        usage();
+    const std::string in = argv[2];
+    const std::string out = argv[3];
+    TdtzCodec codec = tdtzZstdAvailable() ? TdtzCodec::Zstd
+                                          : TdtzCodec::Varint;
+    std::uint32_t frame_records = 4096;
+    for (int i = 4; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--codec") == 0 && i + 1 < argc) {
+            const char *v = argv[++i];
+            if (std::strcmp(v, "zstd") == 0) {
+                if (!tdtzZstdAvailable()) {
+                    std::fprintf(stderr,
+                                 "trace_tool: zstd support not "
+                                 "compiled in\n");
+                    return 2;
+                }
+                codec = TdtzCodec::Zstd;
+            } else if (std::strcmp(v, "none") == 0) {
+                codec = TdtzCodec::Varint;
+            } else {
+                usage();
+            }
+        } else if (std::strcmp(argv[i], "--frame-records") == 0 &&
+                   i + 1 < argc) {
+            frame_records = static_cast<std::uint32_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+            if (frame_records == 0) {
+                std::fprintf(stderr,
+                             "trace_tool: --frame-records must be "
+                             ">= 1\n");
+                return 2;
+            }
+        } else {
+            usage();
+        }
+    }
+
+    std::vector<ReplayRecord> records;
+    if (isTdtFile(in)) {
+        const TraceFile t = loadOrDie(in);
+        records = projectDemands(t);
+        if (records.empty()) {
+            std::fprintf(stderr,
+                         "trace_tool: '%s' contains no demand "
+                         "records\n",
+                         in.c_str());
+            return 2;
+        }
+    } else {
+        std::string error;
+        if (!parseTextTrace(in, records, error)) {
+            std::fprintf(stderr, "trace_tool: %s\n", error.c_str());
+            return 2;
+        }
+    }
+
+    TdtzWriter writer(out, codec, frame_records);
+    for (const ReplayRecord &r : records)
+        writer.append(r);
+    writer.finish();
+    std::printf("%s: %zu records, codec=%s, %u records/frame\n",
+                out.c_str(), records.size(),
+                codec == TdtzCodec::Zstd ? "zstd" : "varint",
+                frame_records);
+    return 0;
+}
+
+int
+cmdInfo(int argc, char **argv)
+{
+    if (argc != 3)
+        usage();
+    TdtzReader reader;
+    if (!reader.open(argv[2])) {
+        std::fprintf(stderr, "trace_tool: %s\n",
+                     reader.error().c_str());
+        return 2;
+    }
+    const TdtzFileHeader &h = reader.header();
+    const TdtzInfo &info = reader.info();
+    std::printf("container      %s\n", argv[2]);
+    std::printf("format         tdtz v%u, codec=%s, %u records/frame\n",
+                h.version,
+                h.codec == static_cast<std::uint32_t>(TdtzCodec::Zstd)
+                    ? "zstd"
+                    : "varint",
+                h.frameRecords);
+    std::printf("records        %llu (%llu reads, %llu writes)\n",
+                (unsigned long long)info.records,
+                (unsigned long long)info.reads,
+                (unsigned long long)info.writes);
+    std::printf("frames         %llu\n",
+                (unsigned long long)info.frames);
+    std::printf("footprint      %llu bytes (max line addr bound)\n",
+                (unsigned long long)info.maxLineAddr);
+    std::printf("span           %.3f us simulated\n",
+                ticksToNs(info.spanTicks) / 1e3);
+    std::printf("frame index    %zu entries\n",
+                reader.index().size());
+    std::printf("flat baseline  %llu bytes (%zu B/record)\n",
+                (unsigned long long)(info.records *
+                                     tdtzFlatRecordBytes),
+                tdtzFlatRecordBytes);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -253,5 +389,9 @@ main(int argc, char **argv)
         return cmdDump(argc, argv);
     if (cmd == "check")
         return cmdCheck(argc, argv);
+    if (cmd == "convert")
+        return cmdConvert(argc, argv);
+    if (cmd == "info")
+        return cmdInfo(argc, argv);
     usage();
 }
