@@ -168,7 +168,7 @@ drive(const KindCfg &k, std::uint64_t total, std::uint32_t seed,
             r.addr = rng.range(4096) * lineBytes;
             if (k.inDramTags) {
                 r.op = is_write ? ChanOp::ActWr : ChanOp::ActRd;
-                r.onTagResult = [&, id = submitted](
+                r.onTagResult = [&checksum, &chan, id = submitted](
                                     Tick t, const TagResult &tr) {
                     checksum = fnv(checksum,
                                    t * 16 + tr.hit * 8 + tr.valid * 4 +
@@ -183,7 +183,7 @@ drive(const KindCfg &k, std::uint64_t total, std::uint32_t seed,
             } else {
                 r.op = is_write ? ChanOp::Write : ChanOp::Read;
             }
-            r.onDataDone = [&](Tick t) {
+            r.onDataDone = [&checksum, &pump](Tick t) {
                 checksum = fnv(checksum, t);
                 pump();
             };

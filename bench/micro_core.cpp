@@ -90,7 +90,7 @@ BM_ChannelReadThroughput(benchmark::State &state)
                 r.id = issued;
                 r.addr = static_cast<tsim::Addr>(issued) * 64;
                 r.op = tsim::ChanOp::Read;
-                r.onDataDone = [&](tsim::Tick) {
+                r.onDataDone = [&done, &feed](tsim::Tick) {
                     ++done;
                     feed();
                 };
