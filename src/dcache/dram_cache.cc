@@ -382,7 +382,7 @@ DramCacheCtrl::maybePrefetch(Addr addr)
     // install would evict dirty data (that needs a data read first).
     for (unsigned i = 1; i <= _cfg.prefetchDegree; ++i) {
         const Addr p = addr + static_cast<Addr>(i) * lineBytes;
-        if (_prefetched.count(p) || isPendingWrite(p))
+        if (_prefetched.contains(p) || isPendingWrite(p))
             continue;
         const TagResult tr = _tags.peek(p);
         if (tr.hit || (tr.valid && tr.dirty))

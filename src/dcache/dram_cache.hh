@@ -19,7 +19,6 @@
 
 #include <memory>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "dram/channel.hh"
@@ -418,7 +417,7 @@ class DramCacheCtrl : public SimObject
     unsigned _waiting = 0;  ///< conflicting-request buffer occupancy
     Histogram _conflictOcc{1.0, 40};
     OpenHashMap<unsigned> _pendingWrites;
-    std::unordered_set<Addr> _prefetched;  ///< awaiting first demand
+    OpenHashSet _prefetched;               ///< awaiting first demand
     std::uint64_t _inFlight = 0;  ///< accepted, not yet responded
     std::uint64_t _nextChanId = 1;
     unsigned _burstBytes = lineBytes;

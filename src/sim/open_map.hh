@@ -159,6 +159,8 @@ class OpenHashMap
     {
         if (_size * 4 < _slots.size() * 3)
             return;
+        // tdram-lint:allow(hot-alloc): amortized rehash — rebinds the
+        // moved-from slot array; O(1) allocations per N inserts.
         std::vector<Slot> old = std::move(_slots);
         _slots.clear();
         _slots.resize(old.size() * 2);
@@ -173,6 +175,40 @@ class OpenHashMap
     std::vector<Slot> _slots;
     std::uint64_t _mask = 0;
     std::size_t _size = 0;
+};
+
+/**
+ * Open-addressing set of 64-bit keys: the same slot scheme (and the
+ * same no-exposed-iteration guarantee) as OpenHashMap, for hot-path
+ * membership tests that previously leaned on std::unordered_set and
+ * its node allocation per insert.
+ */
+class OpenHashSet
+{
+  public:
+    explicit OpenHashSet(std::size_t initial_slots = 64)
+        : _m(initial_slots)
+    {
+    }
+
+    std::size_t size() const { return _m.size(); }
+    bool empty() const { return _m.empty(); }
+    bool contains(std::uint64_t key) const { return _m.contains(key); }
+
+    void insert(std::uint64_t key) { _m[key] = 1; }
+
+    /** Remove @p key; @return true when it was present. */
+    bool
+    erase(std::uint64_t key)
+    {
+        if (!_m.contains(key))
+            return false;
+        _m.erase(key);
+        return true;
+    }
+
+  private:
+    OpenHashMap<unsigned char> _m;
 };
 
 } // namespace tsim
