@@ -197,9 +197,13 @@ class DramChannel : public SimObject
      * Functional tag peek, supplied by the DRAM-cache front-end.
      * Required when inDramTags is set; must be side-effect free.
      */
+    // tdram-lint:allow(hot-alloc): installed once at wiring time and
+    // only *invoked* per event; invocation never allocates.
     std::function<TagResult(Addr)> peekTags;
 
     /** Victim line from the flush buffer arrived at the controller. */
+    // tdram-lint:allow(hot-alloc): installed once at wiring time and
+    // only *invoked* per event; invocation never allocates.
     std::function<void(Addr, Tick)> onFlushArrive;
 
     /**

@@ -42,6 +42,9 @@ inline void
 relayWrapReq(ChanReq &req, ShardOutbox &ob)
 {
     if (req.onTagResult) {
+        // tdram-lint:allow(hot-alloc): sharded mode only — the
+        // move-only callback may fire twice (probe + HM result), so
+        // the posted closures need shared ownership of it.
         auto real =
             std::make_shared<ChanTagCb>(std::move(req.onTagResult));
         req.onTagResult = [real, &ob](Tick t, const TagResult &tr) {
@@ -49,6 +52,8 @@ relayWrapReq(ChanReq &req, ShardOutbox &ob)
         };
     }
     if (req.onDataDone) {
+        // tdram-lint:allow(hot-alloc): sharded mode only — shared
+        // ownership between the wrapper and its posted closure.
         auto real =
             std::make_shared<ChanDataCb>(std::move(req.onDataDone));
         req.onDataDone = [real, &ob](Tick t) {
@@ -58,7 +63,10 @@ relayWrapReq(ChanReq &req, ShardOutbox &ob)
 }
 
 /** Wrap a channel's onFlushArrive hook with an outbox relay. */
+// tdram-lint:allow(hot-alloc): wraps the std::function channel hook
+// once per channel at shard setup, not per event.
 inline std::function<void(Addr, Tick)>
+// tdram-lint:allow(hot-alloc): parameter mirrors the hook's type.
 relayWrapFlush(std::function<void(Addr, Tick)> real, ShardOutbox &ob)
 {
     return [real = std::move(real), &ob](Addr victim, Tick t) {

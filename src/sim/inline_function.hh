@@ -151,6 +151,9 @@ class InlineCallable<R(Args...), Capacity>
             // Heap fallback: the buffer holds a single Fn*.
             detail::inlineCallableHeapFallbacks.fetch_add(
                 1, std::memory_order_relaxed);
+            // tdram-lint:allow(hot-alloc): this *is* the documented
+            // SBO escape hatch; the counter above keeps it honest
+            // (benches assert 0 fallbacks on the fast path).
             auto *heap = new Fn(std::forward<F>(f));
             ::new (static_cast<void *>(_storage)) Fn *(heap);
             _invoke = [](void *p, Args... args) -> R {

@@ -64,6 +64,9 @@ struct PoolCore
     takeSlot()
     {
         if (!freeHead) {
+            // tdram-lint:allow(hot-alloc): amortized slab growth —
+            // one allocation per chunkItems constructions, then the
+            // free list recycles forever.
             auto chunk = std::make_unique<Slot[]>(chunkItems);
             for (std::size_t i = 0; i < chunkItems; ++i) {
                 void *s = &chunk[i];

@@ -69,6 +69,9 @@ SweepRunner::SweepRunner(unsigned jobs) : _jobs(jobs)
 
 void
 SweepRunner::forEach(std::size_t n,
+                     // tdram-lint:allow(hot-alloc): host-side job
+                     // orchestration, invoked once per sweep job —
+                     // never on the simulated event path.
                      const std::function<void(std::size_t)> &fn) const
 {
     if (n == 0)
@@ -81,6 +84,8 @@ SweepRunner::forEach(std::size_t n,
         return;
     }
 
+    // tdram-lint:allow(hot-alloc): per-sweep worker setup (one
+    // allocation per parallel sweep, not per simulated event).
     std::vector<WorkerQueue> queues(workers);
     for (std::size_t i = 0; i < n; ++i)
         queues[i % workers].items.push_back(i);
@@ -106,6 +111,7 @@ SweepRunner::forEach(std::size_t n,
         }
     };
 
+    // tdram-lint:allow(hot-alloc): per-sweep thread-pool launch.
     std::vector<std::thread> threads;
     threads.reserve(workers);
     for (unsigned w = 0; w < workers; ++w)
@@ -134,6 +140,8 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
                      "thread(s); prefer --jobs x --threads <= cores\n",
                      _jobs, inner, hw);
     }
+    // tdram-lint:allow(hot-alloc): one report slot per sweep job,
+    // allocated before any simulation starts.
     std::vector<SimReport> reports(jobs.size());
     forEach(jobs.size(), [&](std::size_t i) {
         reports[i] = runOne(jobs[i].cfg, jobs[i].workload);

@@ -64,6 +64,8 @@ class SweepRunner
      * index completed; rethrows the first captured exception.
      */
     void forEach(std::size_t n,
+                 // tdram-lint:allow(hot-alloc): host-side sweep
+                 // orchestration interface, not per-event code.
                  const std::function<void(std::size_t)> &fn) const;
 
     /** Run every job; reports are returned in job order. */

@@ -61,17 +61,21 @@ struct HostPerf
 class HostTimer
 {
   public:
+    // tdram-lint:allow(nondet): host wall-clock telemetry for the
+    // [host] summary lines; never feeds simulated (golden) output.
     HostTimer() : _start(std::chrono::steady_clock::now()) {}
 
     double
     seconds() const
     {
+        // tdram-lint:allow(nondet): host wall-clock telemetry only.
         return std::chrono::duration<double>(
                    std::chrono::steady_clock::now() - _start)
             .count();
     }
 
   private:
+    // tdram-lint:allow(nondet): host wall-clock telemetry only.
     std::chrono::steady_clock::time_point _start;
 };
 

@@ -30,6 +30,8 @@ CoreEngine::allocStall()
 {
     if (!_stallFree) {
         constexpr std::size_t chunkNodes = 64;
+        // tdram-lint:allow(hot-alloc): amortized stalled-list chunk
+        // growth — one allocation per 64 nodes, then recycled.
         auto chunk = std::make_unique<StallNode[]>(chunkNodes);
         for (std::size_t i = 0; i < chunkNodes; ++i) {
             chunk[i].next = _stallFree;
