@@ -1,0 +1,41 @@
+#!/bin/sh
+# tdram_lint analysis gate (DESIGN.md §15). Builds the project-specific
+# static analyzer and runs it over the whole tree (src/, bench/,
+# examples/, tools/). Zero unsuppressed findings is the bar; every
+# intentional exception is a `// tdram-lint:allow(rule): rationale`
+# comment in the source.
+#
+# Usage: run_tdram_lint.sh [build-dir]
+# Exit codes: 0 clean, 1 findings, 77 skip (no cmake / no C++
+# toolchain in PATH). Findings are echoed and also written to
+# tdram-lint.log in the build dir so CI can upload them as an
+# artifact.
+
+set -u
+
+SRC_DIR=$(cd "$(dirname "$0")/.." && pwd)
+BUILD_DIR=${1:-$SRC_DIR/build-lint}
+
+command -v cmake >/dev/null 2>&1 || {
+    echo "skip: no cmake in PATH"
+    exit 77
+}
+command -v c++ >/dev/null 2>&1 || command -v g++ >/dev/null 2>&1 || {
+    echo "skip: no C++ compiler in PATH"
+    exit 77
+}
+
+# The linter is dependency-free (no GTest/benchmark/zstd), so build
+# just its target rather than the whole tree.
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
+      -DCMAKE_BUILD_TYPE=Release >/dev/null || exit 1
+cmake --build "$BUILD_DIR" --target tdram_lint -j >/dev/null || exit 1
+
+LOG="$BUILD_DIR/tdram-lint.log"
+if "$BUILD_DIR/tools/tdram_lint" --root "$SRC_DIR" >"$LOG" 2>&1; then
+    cat "$LOG"
+    exit 0
+fi
+cat "$LOG"
+echo "FAIL: tdram_lint reported findings (see above / $LOG)"
+exit 1
