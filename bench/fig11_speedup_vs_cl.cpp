@@ -16,29 +16,32 @@ main(int argc, char **argv)
     const bench::Options opts = bench::parseArgs(argc, argv);
     bench::RunCache runs(opts);
 
-    const Design designs[] = {Design::Alloy, Design::Bear,
-                              Design::Ndc,   Design::Tdram,
+    const Design designs[] = {Design::Alloy,  Design::Bear,
+                              Design::Ndc,    Design::TicToc,
+                              Design::Banshee, Design::Tdram,
                               Design::Ideal};
 
     // Run the whole grid on the worker pool up front; the printing
     // below then reads cached reports in deterministic order.
     runs.warm({Design::CascadeLake, Design::Alloy, Design::Bear,
-               Design::Ndc, Design::Tdram, Design::Ideal},
+               Design::Ndc, Design::TicToc, Design::Banshee,
+               Design::Tdram, Design::Ideal},
               bench::workloadSet(opts));
 
     std::printf(
         "Figure 11: speedup normalized to CascadeLake, higher is "
         "better\n");
-    std::printf("%-9s %9s %9s %9s %9s %9s\n", "workload", "Alloy",
-                "BEAR", "NDC", "TDRAM", "Ideal");
+    std::printf("%-9s %9s %9s %9s %9s %9s %9s %9s\n", "workload",
+                "Alloy", "BEAR", "NDC", "TicToc", "Banshee", "TDRAM",
+                "Ideal");
     std::vector<double> cl_rt;
-    std::vector<double> rt[5];
+    std::vector<double> rt[7];
     for (const auto &wl : bench::workloadSet(opts)) {
         const double base = static_cast<double>(
             runs.get(Design::CascadeLake, wl).runtimeTicks);
         cl_rt.push_back(base);
         std::printf("%-9s", wl.name.c_str());
-        for (int i = 0; i < 5; ++i) {
+        for (int i = 0; i < 7; ++i) {
             const double t = static_cast<double>(
                 runs.get(designs[i], wl).runtimeTicks);
             rt[i].push_back(t);
@@ -50,13 +53,22 @@ main(int argc, char **argv)
     for (auto &t : rt)
         std::printf(" %9.3f", bench::geomeanRatio(cl_rt, t));
     std::printf("\n\nTDRAM speedup over each design (geomean):\n");
-    const char *names[] = {"Alloy", "BEAR", "NDC"};
-    const double paper[] = {1.23, 1.13, 1.08};
-    for (int i = 0; i < 3; ++i) {
-        std::printf("  vs %-6s %5.3fx   (paper: %.2fx)\n", names[i],
-                    bench::geomeanRatio(rt[i], rt[3]), paper[i]);
+    // TicToc and Banshee postdate the paper's Figure 11; no paper
+    // geomean exists for them.
+    const char *names[] = {"Alloy", "BEAR", "NDC", "TicToc",
+                           "Banshee"};
+    const double paper[] = {1.23, 1.13, 1.08, 0.0, 0.0};
+    for (int i = 0; i < 5; ++i) {
+        if (paper[i] > 0) {
+            std::printf("  vs %-7s %5.3fx   (paper: %.2fx)\n",
+                        names[i], bench::geomeanRatio(rt[i], rt[5]),
+                        paper[i]);
+        } else {
+            std::printf("  vs %-7s %5.3fx\n", names[i],
+                        bench::geomeanRatio(rt[i], rt[5]));
+        }
     }
-    std::printf("  vs %-6s %5.3fx   (paper: 1.20x)\n", "CascLk",
-                bench::geomeanRatio(cl_rt, rt[3]));
+    std::printf("  vs %-7s %5.3fx   (paper: 1.20x)\n", "CascLk",
+                bench::geomeanRatio(cl_rt, rt[5]));
     return 0;
 }

@@ -5,7 +5,8 @@
  * workload groups, plus TDRAM's reduction w.r.t. each design.
  *
  * Paper values: CascadeLake 1.35/2.75, Alloy 1.68/3.43,
- * BEAR 1.41/2.40, NDC = TDRAM 1.13/2.06.
+ * BEAR 1.41/2.40, NDC = TDRAM 1.13/2.06. TicToc and Banshee postdate
+ * the paper's table; their rows print without a paper reference.
  */
 
 #include <cstdio>
@@ -18,20 +19,32 @@ main(int argc, char **argv)
     using namespace tsim;
     const bench::Options opts = bench::parseArgs(argc, argv);
     bench::RunCache runs(opts);
-    runs.warm({Design::CascadeLake, Design::Alloy, Design::Bear, Design::Ndc, Design::Tdram},
+    runs.warm({Design::CascadeLake, Design::Alloy, Design::Bear,
+               Design::Ndc, Design::TicToc, Design::Banshee,
+               Design::Tdram},
               bench::workloadSet(opts));
 
-    const Design designs[] = {Design::CascadeLake, Design::Alloy,
-                              Design::Bear, Design::Ndc,
-                              Design::Tdram};
-    const char *names[] = {"Cascade Lake", "Alloy", "BEAR", "NDC",
-                           "TDRAM"};
-    const double paper_low[] = {1.35, 1.68, 1.41, 1.13, 1.13};
-    const double paper_high[] = {2.75, 3.43, 2.40, 2.06, 2.06};
+    constexpr int kDesigns = 7;
+    constexpr int kTdram = kDesigns - 1;
+    const Design designs[kDesigns] = {Design::CascadeLake,
+                                      Design::Alloy,
+                                      Design::Bear,
+                                      Design::Ndc,
+                                      Design::TicToc,
+                                      Design::Banshee,
+                                      Design::Tdram};
+    const char *names[kDesigns] = {"Cascade Lake", "Alloy", "BEAR",
+                                   "NDC", "TicToc", "Banshee",
+                                   "TDRAM"};
+    // 0 marks designs absent from the paper's Table IV.
+    const double paper_low[kDesigns] = {1.35, 1.68, 1.41, 1.13,
+                                        0.0,  0.0,  1.13};
+    const double paper_high[kDesigns] = {2.75, 3.43, 2.40, 2.06,
+                                         0.0,  0.0,  2.06};
 
-    std::vector<double> low[5], high[5];
+    std::vector<double> low[kDesigns], high[kDesigns];
     for (const auto &wl : bench::workloadSet(opts)) {
-        for (int i = 0; i < 5; ++i) {
+        for (int i = 0; i < kDesigns; ++i) {
             const double b = runs.get(designs[i], wl).bloat;
             (wl.highMiss ? high[i] : low[i]).push_back(b);
         }
@@ -40,21 +53,27 @@ main(int argc, char **argv)
     std::printf("Table IV: bandwidth bloat factor (geomean)\n");
     std::printf("%-14s %10s %10s %12s %12s\n", "design", "low-miss",
                 "high-miss", "paper(low)", "paper(high)");
-    double g_low[5], g_high[5];
-    for (int i = 0; i < 5; ++i) {
+    double g_low[kDesigns], g_high[kDesigns];
+    for (int i = 0; i < kDesigns; ++i) {
         g_low[i] = geomean(low[i]);
         g_high[i] = geomean(high[i]);
-        std::printf("%-14s %10.2f %10.2f %12.2f %12.2f\n", names[i],
-                    g_low[i], g_high[i], paper_low[i], paper_high[i]);
+        if (paper_low[i] > 0) {
+            std::printf("%-14s %10.2f %10.2f %12.2f %12.2f\n",
+                        names[i], g_low[i], g_high[i], paper_low[i],
+                        paper_high[i]);
+        } else {
+            std::printf("%-14s %10.2f %10.2f %12s %12s\n", names[i],
+                        g_low[i], g_high[i], "-", "-");
+        }
     }
 
     std::printf("\nTDRAM reductions:\n");
     std::printf("%-18s %10s %10s\n", "w.r.t.", "low-miss",
                 "high-miss");
-    for (int i = 0; i < 4; ++i) {
+    for (int i = 0; i < kTdram; ++i) {
         std::printf("%-18s %9.1f%% %9.1f%%\n", names[i],
-                    (1.0 - g_low[4] / g_low[i]) * 100.0,
-                    (1.0 - g_high[4] / g_high[i]) * 100.0);
+                    (1.0 - g_low[kTdram] / g_low[i]) * 100.0,
+                    (1.0 - g_high[kTdram] / g_high[i]) * 100.0);
     }
     std::printf("\npaper reductions: CL 16.3/25.1%%, Alloy "
                 "32.7/39.9%%, BEAR 14.2/19.9%%, NDC 0/0%%.\n");

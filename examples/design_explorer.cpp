@@ -46,7 +46,8 @@ parseDesign(const std::string &s)
     const Design all[] = {Design::CascadeLake, Design::Alloy,
                           Design::Bear,        Design::Ndc,
                           Design::Tdram,       Design::TdramNoProbe,
-                          Design::Ideal,       Design::NoCache};
+                          Design::Ideal,       Design::NoCache,
+                          Design::TicToc,      Design::Banshee};
     for (Design d : all) {
         if (s == tsim::designName(d))
             return d;
@@ -64,6 +65,7 @@ runSweep(bool full, unsigned jobs, std::uint64_t ops,
 
     const Design designs[] = {Design::CascadeLake, Design::Alloy,
                               Design::Bear,        Design::Ndc,
+                              Design::TicToc,      Design::Banshee,
                               Design::Tdram,       Design::TdramNoProbe,
                               Design::Ideal};
     const std::vector<WorkloadProfile> workloads =

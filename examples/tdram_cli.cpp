@@ -45,6 +45,7 @@ struct CliOptions
     bool predictor = false;
     bool fullStats = false;
     bool csv = false;
+    bool json = false;  ///< run: print reportJson() instead of text
     bool check = false;  ///< inline protocol checker on every run
     std::string tracePath;  ///< .tdt output (run) / prefix (others)
     std::string replayPath; ///< .tdtz input (replay front end)
@@ -66,7 +67,7 @@ usage()
         "  sweep <workload> <design> <param> <v1,v2,...>\n"
         "options: --ops N --warmup N --seed N --capacity MiB\n"
         "         --ways W --no-probe --open-page --predictor\n"
-        "         --stats --csv --trace PATH --check\n"
+        "         --stats --csv --json --trace PATH --check\n"
         "         --threads N --window TICKS\n"
         "         --replay FILE.tdtz --replay-mode timed|afap\n"
         "         --replay-mlp N\n"
@@ -121,6 +122,8 @@ parseOptions(int argc, char **argv, int first)
             o.fullStats = true;
         } else if (a == "--csv") {
             o.csv = true;
+        } else if (a == "--json") {
+            o.json = true;
         } else if (a == "--trace") {
             if (i + 1 >= argc)
                 usage();
@@ -166,7 +169,8 @@ parseDesign(const std::string &s)
     const Design all[] = {Design::CascadeLake, Design::Alloy,
                           Design::Bear,        Design::Ndc,
                           Design::Tdram,       Design::TdramNoProbe,
-                          Design::Ideal,       Design::NoCache};
+                          Design::Ideal,       Design::NoCache,
+                          Design::TicToc,      Design::Banshee};
     for (Design d : all) {
         if (s == designName(d))
             return d;
@@ -291,7 +295,11 @@ cmdRun(int argc, char **argv)
     cfg.tracePath = o.tracePath;
     System sys(cfg, wl);
     const SimReport r = sys.run();
-    if (o.csv) {
+    if (o.json) {
+        // Metrics the design cannot measure come out null, not 0 —
+        // predictor_accuracy only exists when a predictor ran.
+        std::printf("%s\n", reportJson(r).c_str());
+    } else if (o.csv) {
         printCsvHeader();
         printCsvRow(r);
     } else {
@@ -301,7 +309,7 @@ cmdRun(int argc, char **argv)
         std::printf("\nfull statistics:\n");
         sys.dumpStats(std::cout);
     }
-    if (o.check && !o.csv) {
+    if (o.check && !o.csv && !o.json) {
         std::printf("  check          %10llu events, %llu "
                     "violation(s)\n",
                     (unsigned long long)r.checkEvents,
@@ -319,7 +327,8 @@ cmdCompare(int argc, char **argv)
     const WorkloadProfile &wl = findWorkload(argv[2]);
     const Design designs[] = {Design::NoCache, Design::CascadeLake,
                               Design::Alloy,   Design::Bear,
-                              Design::Ndc,     Design::Tdram,
+                              Design::Ndc,     Design::TicToc,
+                              Design::Banshee, Design::Tdram,
                               Design::Ideal};
     if (o.csv)
         printCsvHeader();

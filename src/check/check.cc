@@ -152,6 +152,12 @@ const std::vector<CheckRuleInfo> kRules = {
      "probes only on channels with probing enabled"},
     {"demand-pairing", "-",
      "every demand response matches an outstanding demand start"},
+    {"page-fill-lockstep", "-",
+     "each Remap's fill group issues exactly its per-channel quota of "
+     "flagged fill writes before the next Remap"},
+    {"remap-consistency", "-",
+     "Remap installs/evictions and flagged fill/spill traffic agree "
+     "with the remap-table state"},
 };
 
 } // namespace
@@ -295,6 +301,9 @@ ProtocolChecker::check(unsigned channel, const TraceRecord &r)
       case TraceKind::DemandStart:
       case TraceKind::DemandDone:
         checkDemand(c, r);
+        break;
+      case TraceKind::Remap:
+        checkRemap(c, r);
         break;
       default:
         break;
@@ -461,6 +470,9 @@ ProtocolChecker::checkCommand(ChannelState &c, const TraceRecord &r)
             c.idleSlotValid = true;
         }
     }
+
+    if (k == TraceKind::Read || k == TraceKind::Write)
+        checkFillFlags(c, r, isWriteKind(k));
 
     // Every data-bank command reserves a DQ burst ending at
     // tick + aux (reads and suppressed reads alike: the slot is
@@ -697,6 +709,128 @@ ProtocolChecker::checkDemand(ChannelState &c, const TraceRecord &r)
 }
 
 void
+ProtocolChecker::checkRemap(ChannelState &c, const TraceRecord &r)
+{
+    if (!c.cfg.remapTable) {
+        violation(r, "remap-consistency",
+                  "Remap on a device without a remap table");
+        return;
+    }
+    if (r.addr % c.cfg.pageBytes != 0) {
+        violation(r, "remap-consistency",
+                  logFormat("installed page %#llx not %llu-byte aligned",
+                            static_cast<unsigned long long>(r.addr),
+                            static_cast<unsigned long long>(
+                                c.cfg.pageBytes)));
+    }
+    // Fills are serialized: the previous group must have issued its
+    // full per-channel quota before the next Remap arrives.
+    if (c.fillOpen && c.fillWrites != c.cfg.fillGroupLines) {
+        violation(r, "page-fill-lockstep",
+                  logFormat("previous fill group %u closed with %u of "
+                            "%u fill writes",
+                            c.fillGroup, c.fillWrites,
+                            c.cfg.fillGroupLines));
+    }
+    const bool victim_valid = (r.extra & 1u) != 0;
+    if (victim_valid) {
+        // Warm-started tables install pages silently, so evicting a
+        // page the checker never saw installed is legitimate; only
+        // the tracked subset is maintained.
+        auto it = std::find(c.mappedPages.begin(), c.mappedPages.end(),
+                            r.aux);
+        if (it != c.mappedPages.end())
+            c.mappedPages.erase(it);
+    }
+    if (std::find(c.mappedPages.begin(), c.mappedPages.end(), r.addr) !=
+        c.mappedPages.end()) {
+        violation(r, "remap-consistency",
+                  logFormat("page %#llx installed while already mapped",
+                            static_cast<unsigned long long>(r.addr)));
+    } else {
+        c.mappedPages.push_back(r.addr);
+    }
+    c.fillOpen = true;
+    c.fillGroup = r.extra >> traceGroupShift;
+    c.fillPage = r.addr;
+    c.spillPage = r.aux;
+    c.spillValid = victim_valid;
+    c.fillWrites = 0;
+}
+
+void
+ProtocolChecker::checkFillFlags(ChannelState &c, const TraceRecord &r,
+                                bool is_write)
+{
+    const bool fill = (r.extra & traceFillFlag) != 0;
+    const bool spill = (r.extra & traceSpillFlag) != 0;
+    if (!fill && !spill)
+        return;
+    if (!c.cfg.remapTable) {
+        violation(r, "remap-consistency",
+                  logFormat("%s flag on a device without a remap table",
+                            fill ? "fill" : "spill"));
+        return;
+    }
+    if (fill && spill) {
+        violation(r, "remap-consistency",
+                  "command flagged as both fill and spill");
+        return;
+    }
+    if (fill != is_write) {
+        violation(r, "remap-consistency",
+                  fill ? std::string("fill flag on a read command")
+                       : std::string("spill flag on a write command"));
+        return;
+    }
+    if (!c.fillOpen) {
+        violation(r, "page-fill-lockstep",
+                  logFormat("%s command outside an open fill group",
+                            fill ? "fill" : "spill"));
+        return;
+    }
+    const std::uint32_t group = r.extra >> traceGroupShift;
+    if (group != c.fillGroup) {
+        violation(r, "page-fill-lockstep",
+                  logFormat("%s command of group %u inside group %u",
+                            fill ? "fill" : "spill", group,
+                            c.fillGroup));
+        return;
+    }
+    const std::uint64_t page = r.addr - r.addr % c.cfg.pageBytes;
+    if (fill) {
+        if (page != c.fillPage) {
+            violation(r, "remap-consistency",
+                      logFormat("fill write for %#llx outside the "
+                                "installed page %#llx",
+                                static_cast<unsigned long long>(r.addr),
+                                static_cast<unsigned long long>(
+                                    c.fillPage)));
+        }
+        if (++c.fillWrites > c.cfg.fillGroupLines) {
+            violation(r, "page-fill-lockstep",
+                      logFormat("fill write %u exceeds the per-channel "
+                                "quota of %u",
+                                c.fillWrites, c.cfg.fillGroupLines));
+        }
+        return;
+    }
+    if (!c.spillValid) {
+        violation(r, "remap-consistency",
+                  "spill read in a group that evicted no valid page");
+        return;
+    }
+    if (page != c.spillPage) {
+        violation(r, "remap-consistency",
+                  logFormat("spill read for %#llx outside the evicted "
+                            "page %#llx",
+                            static_cast<unsigned long long>(r.addr),
+                            static_cast<unsigned long long>(
+                                c.spillPage)));
+    }
+}
+
+void
 ProtocolChecker::reserveDq(ChannelState &c, const TraceRecord &r,
                            Tick end, Tick burst, bool is_write,
                            bool refresh_exempt)
@@ -757,6 +891,17 @@ ProtocolChecker::finish()
                       logFormat("%u demand start(s) never responded",
                                 static_cast<unsigned>(
                                     c.openDemands.size())));
+        }
+        if (c.fillOpen && c.fillWrites != c.cfg.fillGroupLines) {
+            TraceRecord r{};
+            r.addr = c.fillPage;
+            r.bank = traceBankNone;
+            violation(r, "page-fill-lockstep",
+                      logFormat("fill group %u open at end of stream "
+                                "with %u of %u fill writes",
+                                c.fillGroup, c.fillWrites,
+                                c.cfg.fillGroupLines));
+            c.fillOpen = false;
         }
     }
 }

@@ -93,6 +93,16 @@ struct CheckerConfig
     bool opportunisticDrain = true; ///< TDRAM-style unloading
 
     /**
+     * Page-grain remap layer (Banshee). Remap records open a fill
+     * group; flagged fill writes / spill reads must stay in lockstep
+     * with it (fillGroupLines per channel, addresses inside the
+     * installed/evicted page of pageBytes).
+     */
+    bool remapTable = false;
+    unsigned fillGroupLines = 0;
+    std::uint64_t pageBytes = 4096;
+
+    /**
      * Controller-level demand buffer: only the demand-pairing rules
      * apply; any channel-level command record is itself a violation.
      */
@@ -243,6 +253,15 @@ class ProtocolChecker
 
         // --- demand buffer ---
         std::vector<std::pair<std::uint64_t, Tick>> openDemands;
+
+        // --- page-grain remap layer (Banshee) ---
+        std::vector<std::uint64_t> mappedPages;  ///< via Remap records
+        bool fillOpen = false;     ///< a fill group is in progress
+        std::uint32_t fillGroup = 0;
+        std::uint64_t fillPage = 0;
+        std::uint64_t spillPage = 0;
+        bool spillValid = false;   ///< the group evicted a valid page
+        unsigned fillWrites = 0;   ///< flagged writes seen this group
     };
 
     void check(unsigned channel, const TraceRecord &r);
@@ -252,6 +271,11 @@ class ProtocolChecker
     void checkFlush(ChannelState &c, const TraceRecord &r);
     void checkRefresh(ChannelState &c, const TraceRecord &r);
     void checkDemand(ChannelState &c, const TraceRecord &r);
+    void checkRemap(ChannelState &c, const TraceRecord &r);
+
+    /** Audit fill/spill controller flags on a Read/Write command. */
+    void checkFillFlags(ChannelState &c, const TraceRecord &r,
+                        bool is_write);
 
     /** Reserve a DQ data interval ending at @p end. */
     void reserveDq(ChannelState &c, const TraceRecord &r, Tick end,

@@ -1,5 +1,6 @@
 #include "check/offline.hh"
 
+#include "mem/types.hh"
 #include "sim/logging.hh"
 
 namespace tsim
@@ -10,6 +11,7 @@ namespace
 
 const std::vector<std::string> kDevices = {
     "tdram", "tdram-noprobe", "ndc", "cl", "alloy", "bear",
+    "tictoc", "banshee",
 };
 
 } // namespace
@@ -40,8 +42,12 @@ checkerPresetFor(const std::string &device, CheckerConfig &out)
         c.opportunisticDrain = false;
     } else if (device == "cl") {
         c.timing = hbm3CacheTimings();
-    } else if (device == "alloy" || device == "bear") {
+    } else if (device == "alloy" || device == "bear" ||
+               device == "tictoc") {
         c.timing = hbm3TadTimings();
+    } else if (device == "banshee") {
+        c.timing = hbm3CacheTimings();
+        c.remapTable = true;
     } else {
         return false;
     }
@@ -63,6 +69,12 @@ checkTrace(const TraceFile &trace, const OfflineCheckOptions &opts)
     dcache_cfg.banks = opts.banks;
     dcache_cfg.openPage = opts.openPage;
     dcache_cfg.flushEntries = opts.flushEntries;
+    if (dcache_cfg.remapTable) {
+        // Per-channel fill quota: the page's lines are interleaved
+        // line-by-line over the dcache channels.
+        dcache_cfg.fillGroupLines = static_cast<unsigned>(
+            dcache_cfg.pageBytes / lineBytes / opts.channels);
+    }
 
     const unsigned expect = opts.channels + opts.mmChannels + 1;
     if (trace.header.channels != expect) {

@@ -49,8 +49,9 @@ const std::vector<std::string> &checkDeviceNames();
 
 /**
  * DRAM-cache channel checker config for @p device ("tdram",
- * "tdram-noprobe", "ndc", "cl", "alloy", "bear"), mirroring the
- * factory's per-design channel capabilities and timing.
+ * "tdram-noprobe", "ndc", "cl", "alloy", "bear", "tictoc",
+ * "banshee"), mirroring the factory's per-design channel
+ * capabilities and timing.
  * @return false if the name is unknown.
  */
 bool checkerPresetFor(const std::string &device, CheckerConfig &out);

@@ -34,6 +34,8 @@ class CascadeLakeCtrl : public DramCacheCtrl
 
     const MapIPredictor &predictor() const { return _pred; }
 
+    bool hasPredictor() const override { return _cfg.predictor; }
+
     double
     predictorAccuracy() const override
     {
@@ -45,7 +47,7 @@ class CascadeLakeCtrl : public DramCacheCtrl
     bool initialOpAdmissible(const MemPacket &pkt) const override;
 
     /** Tag+data read returned; run the design's decision tree. */
-    void tagDataArrived(const TxnPtr &txn, Tick t);
+    virtual void tagDataArrived(const TxnPtr &txn, Tick t);
 
     /** Backing-store data for a read miss arrived. */
     void mmDataArrived(const TxnPtr &txn, Tick t);

@@ -19,6 +19,8 @@ designName(Design d)
       case Design::TdramNoProbe: return "TDRAM-noprobe";
       case Design::Ideal: return "Ideal";
       case Design::NoCache: return "NoCache";
+      case Design::TicToc: return "TicToc";
+      case Design::Banshee: return "Banshee";
       default: return "unknown";
     }
 }
@@ -41,6 +43,7 @@ DramCacheCtrl::DramCacheCtrl(EventQueue &eq, std::string name,
     chan_cfg.flushEntries = cfg.flushEntries;
     chan_cfg.refreshEnabled = cfg.refreshEnabled;
     chan_cfg.pagePolicy = cfg.pagePolicy;
+    chan_cfg.pageBytes = cfg.pageBytes;
     _burstBytes = static_cast<unsigned>(
         lineBytes * cfg.timing.burstScale + 0.5);
 

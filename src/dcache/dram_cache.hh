@@ -47,6 +47,8 @@ enum class Design : std::uint8_t
     TdramNoProbe,  ///< TDRAM ablation without early tag probing
     Ideal,         ///< zero-latency tags (tags-in-SRAM upper bound)
     NoCache,       ///< main memory only
+    TicToc,        ///< dirtiness-tracked probe/fill elision [PAPERS.md]
+    Banshee,       ///< page-grain remap + bandwidth-aware replacement
 };
 
 const char *designName(Design d);
@@ -72,6 +74,9 @@ struct DramCacheConfig
     unsigned prefetchDegree = 0;   ///< next-line prefetch on read miss
     Tick ctrlLatency = nsToTicks(2); ///< controller fast-path latency
     bool refreshEnabled = true;
+
+    /** Remap granularity for page-grain designs (Banshee). */
+    std::uint64_t pageBytes = 4096;
 
     /**
      * Ablation: disable TDRAM's conditional data response so
@@ -112,9 +117,12 @@ class DramCacheCtrl : public SimObject
      * tag transition (fill on read miss, write-allocate on write
      * miss) without consuming simulated time or touching stats.
      */
-    void warmAccess(Addr addr, bool is_write);
+    virtual void warmAccess(Addr addr, bool is_write);
 
     virtual Design design() const = 0;
+
+    /** True when the design consults a hit/miss predictor (§V-D). */
+    virtual bool hasPredictor() const { return false; }
 
     /** Prediction accuracy when a predictor is configured (§V-D). */
     virtual double predictorAccuracy() const { return 0.0; }
@@ -168,7 +176,7 @@ class DramCacheCtrl : public SimObject
         return tagCheckLatency.mean();
     }
 
-    void regStats(StatGroup &g) const;
+    virtual void regStats(StatGroup &g) const;
 
     /** Print controller/channel live state (deadlock debugging). */
     void dumpDebug(std::FILE *f) const;
@@ -204,6 +212,13 @@ class DramCacheCtrl : public SimObject
      * (and the checker sees every DemandStart paired).
      */
     std::uint64_t inFlightDemands() const { return _inFlight; }
+
+    /**
+     * False while design-internal maintenance (e.g. a page-grain
+     * fill group) is still in flight. The run loop drains it before
+     * stopping so traces never truncate mid-operation.
+     */
+    virtual bool quiescent() const { return true; }
 
     /**
      * @name Bus events (src/sim/event_bus.hh, DESIGN.md §13).

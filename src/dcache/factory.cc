@@ -6,10 +6,12 @@
  * bank parameters of Table III).
  */
 
+#include "dcache/banshee.hh"
 #include "dcache/conventional.hh"
 #include "dcache/dram_cache.hh"
 #include "dcache/in_dram.hh"
 #include "dcache/simple.hh"
+#include "dcache/tictoc.hh"
 #include "dram/timing.hh"
 
 namespace tsim
@@ -46,6 +48,16 @@ makeDramCache(EventQueue &eq, Design design, const DramCacheConfig &cfg,
       case Design::NoCache:
         c.timing = hbm3CacheTimings();
         return std::make_unique<NoCacheCtrl>(eq, n, c, mm);
+      case Design::TicToc:
+        // TicToc keeps the TAD layout (tags travel with the data) but
+        // elides the accesses its dirtiness tracking proves useless.
+        c.timing = hbm3TadTimings();
+        return std::make_unique<TicTocCtrl>(eq, n, c, mm);
+      case Design::Banshee:
+        // Remap metadata is SRAM-side, so the device streams plain
+        // 64 B bursts like CascadeLake.
+        c.timing = hbm3CacheTimings();
+        return std::make_unique<BansheeCtrl>(eq, n, c, mm);
       default:
         panic("unknown DRAM-cache design");
     }

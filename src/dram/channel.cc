@@ -39,6 +39,9 @@ checkerConfigOf(const ChannelConfig &cfg)
     c.hasFlushBuffer = cfg.hasFlushBuffer;
     c.flushEntries = cfg.flushEntries;
     c.opportunisticDrain = cfg.opportunisticDrain;
+    c.remapTable = cfg.remapTable;
+    c.fillGroupLines = cfg.fillGroupLines;
+    c.pageBytes = cfg.pageBytes;
     return c;
 }
 
@@ -746,13 +749,15 @@ DramChannel::issueConventional(ChanReq &req, bool is_write)
     if (is_write) {
         emit(*this, WriteIssuedEv{
             .tick = now, .addr = req.addr, .bank = bank16,
-            .aux = done - now, .extra = was_row_hit ? 1u : 0u,
+            .aux = done - now,
+            .extra = (was_row_hit ? 1u : 0u) | req.ctrlExtra,
             .bytes = bytes,
             .burstTicks = static_cast<double>(_t.dataBurst())});
     } else {
         emit(*this, ReadIssuedEv{
             .tick = now, .addr = req.addr, .bank = bank16,
-            .aux = done - now, .extra = was_row_hit ? 1u : 0u,
+            .aux = done - now,
+            .extra = (was_row_hit ? 1u : 0u) | req.ctrlExtra,
             .bytes = bytes,
             .queueDelayNs = ticksToNs(now - req.enqueued),
             .burstTicks = static_cast<double>(_t.dataBurst())});
@@ -953,6 +958,15 @@ DramChannel::flushPushRetry(Addr victim)
     const Tick retry =
         std::max(curTick() + _t.dataBurst(), _flushDrainUntil);
     _eq.schedule(retry, [this, victim] { flushPushRetry(victim); });
+}
+
+void
+DramChannel::noteRemap(Tick when, Addr page, Addr victim,
+                       std::uint32_t extra)
+{
+    emit(*this, RemapEv{.tick = when, .addr = page,
+                        .bank = traceBankNone, .aux = victim,
+                        .extra = extra});
 }
 
 void

@@ -98,6 +98,13 @@ struct ChanReq
     /** Data fully transferred (reads: at controller; writes: sent). */
     ChanDataCb onDataDone;
 
+    /**
+     * Controller flags OR'd into the issue event's extra field
+     * (trace.hh traceFillFlag/traceSpillFlag + fill-group id). Zero
+     * for everything but page-grain fill/spill traffic (Banshee).
+     */
+    std::uint32_t ctrlExtra = 0;
+
     // --- filled in by the channel ---
     Tick enqueued = 0;
     DramCoord coord{};
@@ -136,6 +143,10 @@ struct ChannelConfig
     bool hasFlushBuffer = false;  ///< device-side victim buffer
     unsigned flushEntries = 16;
     bool opportunisticDrain = true; ///< TDRAM-style unloading
+
+    bool remapTable = false;      ///< page-grain remap layer (Banshee)
+    unsigned fillGroupLines = 0;  ///< fill writes per channel per group
+    std::uint64_t pageBytes = 4096; ///< remap granularity
 
     unsigned readQCap = 64;
     unsigned writeQCap = 64;
@@ -182,6 +193,16 @@ class DramChannel : public SimObject
      * @return true if the request was found and removed.
      */
     bool removeRead(std::uint64_t id);
+
+    /**
+     * Announce a page-grain remap-table install (Banshee). Emits a
+     * Remap record ahead of the group's fill/spill traffic so the
+     * checker can audit page-fill lockstep and remap consistency.
+     * Called from the controller (superstep phase A in sharded runs,
+     * when channel shards are quiescent — race-free by construction).
+     */
+    void noteRemap(Tick when, Addr page, Addr victim,
+                   std::uint32_t extra);
 
     /** @name Flush-buffer interface (TDRAM/NDC kinds only). */
     /// @{
@@ -375,6 +396,21 @@ class DramChannel : public SimObject
             ++c.tagBankActs;
             ++c.probesIssued;
         }
+    };
+
+    /**
+     * Page-grain remap-table install/evict (Banshee); trace/check
+     * payload only. addr = installed page, aux = evicted page, extra
+     * bit 0 = victim valid, bits 16-31 = fill-group id.
+     */
+    struct RemapEv
+    {
+        static constexpr TraceKind kind = TraceKind::Remap;
+        Tick tick;
+        Addr addr;
+        std::uint16_t bank;
+        std::uint64_t aux;
+        std::uint32_t extra;
     };
 
     /** HM-bus result (MAIN or probe); trace/check payload only. */

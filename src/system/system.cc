@@ -1,6 +1,7 @@
 #include "system/system.hh"
 
 #include <cmath>
+#include <sstream>
 
 #include "stats/stats.hh"
 
@@ -197,9 +198,12 @@ System::run()
         events = runSharded();
     } else {
         // Keep stepping past done() until fire-and-forget writes
-        // still in flight have responded, so the checker sees every
-        // demand paired and no completion is cut off mid-flight.
-        while (!_engine->done() || _dcache->inFlightDemands() > 0) {
+        // still in flight have responded (and design-internal
+        // maintenance like page-fill groups has drained), so the
+        // checker sees every demand paired and no operation is cut
+        // off mid-flight.
+        while (!_engine->done() || _dcache->inFlightDemands() > 0 ||
+               !_dcache->quiescent()) {
             if (!_eq.step())
                 panic(
                     "event queue drained before the workload finished");
@@ -248,7 +252,8 @@ System::runSharded()
         // until the last in-flight demand responded. The counter is
         // only read at window boundaries, so the exit superstep is a
         // pure function of the schedule, not of the thread count.
-        if (_engine->done() && _dcache->inFlightDemands() == 0)
+        if (_engine->done() && _dcache->inFlightDemands() == 0 &&
+            _dcache->quiescent())
             return events;
         // Jump over empty windows: the next superstep is the one
         // whose window owns the earliest pending event anywhere.
@@ -313,7 +318,9 @@ System::collectReport(std::uint64_t events, double host_seconds)
             _dcache->channel(c).probesIssued.value());
     }
     r.flushAvgOcc /= _dcache->numChannels();
-    r.predictorAccuracy = _dcache->predictorAccuracy();
+    r.predictorPresent = _dcache->hasPredictor();
+    r.predictorAccuracy =
+        r.predictorPresent ? _dcache->predictorAccuracy() : 0.0;
     r.backpressureStalls = _engine->backpressureStallCount();
     if (!_cfg.replay.path.empty()) {
         r.replaySource = _cfg.replay.path;
@@ -387,6 +394,38 @@ runOne(const SystemConfig &cfg, const WorkloadProfile &wl)
 {
     System sys(cfg, wl);
     return sys.run();
+}
+
+std::string
+reportJson(const SimReport &r)
+{
+    // Workload/design names come from the static profile and design
+    // tables and contain no characters needing JSON escaping.
+    std::ostringstream os;
+    os << "{";
+    os << "\"workload\": \"" << r.workload << "\"";
+    os << ", \"design\": \"" << r.design << "\"";
+    os << ", \"runtime_ns\": " << r.runtimeNs();
+    os << ", \"demand_reads\": " << r.demandReads;
+    os << ", \"demand_writes\": " << r.demandWrites;
+    os << ", \"miss_ratio\": " << r.missRatio;
+    os << ", \"tag_check_ns\": " << r.tagCheckNs;
+    os << ", \"read_latency_ns\": " << r.demandReadLatencyNs;
+    os << ", \"bloat\": " << r.bloat;
+    os << ", \"cache_bytes\": " << r.cacheBytes;
+    os << ", \"mm_bytes\": " << r.mmBytes;
+    os << ", \"flush_stalls\": " << r.flushStalls;
+    os << ", \"probes\": " << r.probes;
+    os << ", \"predictor_accuracy\": ";
+    if (r.predictorPresent)
+        os << r.predictorAccuracy;
+    else
+        os << "null";
+    os << ", \"backpressure_stalls\": " << r.backpressureStalls;
+    os << ", \"check_events\": " << r.checkEvents;
+    os << ", \"check_violations\": " << r.checkViolations;
+    os << "}";
+    return os.str();
 }
 
 double

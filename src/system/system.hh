@@ -126,7 +126,15 @@ struct SimReport
     double flushMaxOcc = 0;
     double flushAvgOcc = 0;
     std::uint64_t probes = 0;
+    /**
+     * Hit/miss-predictor accuracy. Only meaningful when
+     * predictorPresent: controllers without a predictor report the
+     * metric as *absent* (reportJson renders null), never as a
+     * misleading 0.0. The double stays 0 in that case so fixed-width
+     * CSV/key consumers keep their layout.
+     */
     double predictorAccuracy = 0;
+    bool predictorPresent = false;
     std::uint64_t backpressureStalls = 0;
 
     /**
@@ -221,6 +229,14 @@ class System
 
 /** Convenience: build + run one configuration. */
 SimReport runOne(const SystemConfig &cfg, const WorkloadProfile &wl);
+
+/**
+ * One-object JSON rendering of the report's deterministic metrics
+ * (hostPerf excluded). Metrics a design cannot measure are null, not
+ * zero — predictor_accuracy in particular is null unless the
+ * controller actually ran a predictor.
+ */
+std::string reportJson(const SimReport &r);
 
 /** Geometric mean helper for the paper's summary numbers. */
 double geomean(const std::vector<double> &xs);

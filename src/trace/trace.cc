@@ -28,6 +28,7 @@ traceKindName(std::uint8_t kind)
       case TraceKind::Refresh: return "Refresh";
       case TraceKind::DemandStart: return "DemandStart";
       case TraceKind::DemandDone: return "DemandDone";
+      case TraceKind::Remap: return "Remap";
       default: return "?";
     }
 }

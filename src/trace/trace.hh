@@ -84,6 +84,7 @@ enum class TraceKind : std::uint8_t
     Refresh = 8,    ///< all-bank refresh started
     DemandStart = 9, ///< demand packet accepted by the controller
     DemandDone = 10, ///< demand packet responded
+    Remap = 11,      ///< page-grain remap-table install/evict (Banshee)
     NumKinds,
 };
 
@@ -105,7 +106,9 @@ enum class DrainCause : std::uint32_t
  *
  * Field use by kind:
  *  - Read/Write/ActRd/ActWr: aux = issue-to-data-done latency in
- *    ticks; extra = packed tag bits (ActRd/ActWr) or row-hit flag.
+ *    ticks; extra = packed tag bits (ActRd/ActWr) or row-hit flag,
+ *    plus controller flags (traceFillFlag/traceSpillFlag + group id)
+ *    on page-grain Read/Write.
  *  - Probe/HmResult: aux = result latency in ticks; extra = packed
  *    tag bits.
  *  - FlushPush/FlushDrain: addr = victim line; aux = buffer depth
@@ -113,6 +116,8 @@ enum class DrainCause : std::uint32_t
  *  - Refresh: aux = tRFC in ticks.
  *  - DemandStart: extra = 0 read / 1 write. DemandDone: aux =
  *    end-to-end latency in ticks; extra = AccessOutcome.
+ *  - Remap: addr = installed page; aux = evicted page; extra bit 0 =
+ *    victim valid, bits 16-31 = fill-group id.
  */
 struct TraceRecord
 {
@@ -133,6 +138,20 @@ static_assert(std::is_trivially_copyable_v<TraceRecord>,
 
 /** Bank value for events with no meaningful bank. */
 constexpr std::uint16_t traceBankNone = 0xffff;
+
+/**
+ * @name Controller-flag bits in TraceRecord::extra (Read/Write).
+ * Page-grain controllers (Banshee) tag the cache-side accesses they
+ * issue on behalf of a fill group; the checker audits them against
+ * the group opened by the preceding Remap record. Bit 0 stays the
+ * row-hit flag, so these start at bit 8.
+ */
+/// @{
+constexpr std::uint32_t traceFillFlag = 1u << 8;  ///< page-fill write
+constexpr std::uint32_t traceSpillFlag = 1u << 9; ///< victim-spill read
+constexpr unsigned traceGroupShift = 16;          ///< fill-group id
+constexpr std::uint32_t traceGroupMask = 0xffffu;
+/// @}
 
 /** Pack a tag result into TraceRecord::extra. */
 constexpr std::uint32_t

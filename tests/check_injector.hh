@@ -160,6 +160,32 @@ class CheckStream
                     _cfg.timing.tRFC, 0);
     }
 
+    /** Remap install opening a fill group (Banshee page-grain layer). */
+    TraceRecord &
+    remap(Tick tick, Addr page, Addr victim, bool victim_valid,
+          std::uint32_t group)
+    {
+        return push(TraceKind::Remap, tick, page, traceBankNone, victim,
+                    (victim_valid ? 1u : 0u) |
+                        (group << traceGroupShift));
+    }
+
+    /** Flagged page-fill write belonging to fill group @p group. */
+    TraceRecord &
+    fillWrite(Tick tick, unsigned bank, Addr addr, std::uint32_t group)
+    {
+        return push(TraceKind::Write, tick, addr, bank, writeAux(),
+                    traceFillFlag | (group << traceGroupShift));
+    }
+
+    /** Flagged victim-spill read belonging to fill group @p group. */
+    TraceRecord &
+    spillRead(Tick tick, unsigned bank, Addr addr, std::uint32_t group)
+    {
+        return push(TraceKind::Read, tick, addr, bank, readAux(),
+                    traceSpillFlag | (group << traceGroupShift));
+    }
+
     /** Address every record of @p bank uses (HM lockstep matching). */
     static Addr addrOf(unsigned bank) { return Addr(bank) * lineBytes; }
 

@@ -74,6 +74,16 @@ demandCfg()
     return c;
 }
 
+CheckerConfig
+bansheeCfg()
+{
+    CheckerConfig c = convCfg();
+    c.remapTable = true;
+    c.fillGroupLines = 2;
+    c.pageBytes = 4096;
+    return c;
+}
+
 /**
  * One injection: a legal baseline stream and a minimal perturbation
  * whose audit must name @c rule. Captureless lambdas keep each case
@@ -253,6 +263,47 @@ const Injection kInjections[] = {
      [](CheckStream &s) {
          s.records()[0].aux = s.timing().dataBurst() - 1;
      }},
+    {"FillGroupOneWriteShort", "page-fill-lockstep", bansheeCfg,
+     [](CheckStream &s) {
+         s.remap(0, 0x10000, 0, false, 0);
+         s.fillWrite(0, 0, 0x10000, 0);
+         s.fillWrite(s.timing().tRRD, 1, 0x10040, 0);
+     },
+     [](CheckStream &s) { s.records().pop_back(); }},
+    {"FillWriteGroupMismatch", "page-fill-lockstep", bansheeCfg,
+     [](CheckStream &s) {
+         s.remap(0, 0x10000, 0, false, 0);
+         s.fillWrite(0, 0, 0x10000, 0);
+         s.fillWrite(s.timing().tRRD, 1, 0x10040, 0);
+     },
+     [](CheckStream &s) {
+         s.records()[2].extra ^= 1u << traceGroupShift;
+     }},
+    {"FillWriteOutsideInstalledPage", "remap-consistency", bansheeCfg,
+     [](CheckStream &s) {
+         s.remap(0, 0x10000, 0, false, 0);
+         s.fillWrite(0, 0, 0x10000, 0);
+         s.fillWrite(s.timing().tRRD, 1, 0x10040, 0);
+     },
+     [](CheckStream &s) { s.records()[2].addr += 0x1000; }},
+    {"RemapReinstallsMappedPage", "remap-consistency", bansheeCfg,
+     [](CheckStream &s) {
+         s.remap(0, 0x10000, 0, false, 0);
+         s.fillWrite(0, 0, 0x10000, 0);
+         s.fillWrite(s.timing().tRRD, 1, 0x10040, 0);
+         s.remap(100000, 0x20000, 0, false, 1);
+         s.fillWrite(100000, 0, 0x20000, 1);
+         s.fillWrite(100000 + s.timing().tRRD, 1, 0x20040, 1);
+     },
+     [](CheckStream &s) { s.records()[3].addr = 0x10000; }},
+    {"SpillReadOutsideVictimPage", "remap-consistency", bansheeCfg,
+     [](CheckStream &s) {
+         s.remap(0, 0x10000, 0x30000, true, 0);
+         s.spillRead(0, 2, 0x30000, 0);
+         s.fillWrite(50000, 0, 0x10000, 0);
+         s.fillWrite(50000 + s.timing().tRRD, 1, 0x10040, 0);
+     },
+     [](CheckStream &s) { s.records()[1].addr += 0x1000; }},
 };
 
 class InjectionMatrix : public ::testing::TestWithParam<Injection>

@@ -75,6 +75,11 @@ struct DcacheHarness
     PacketId nextId = 1;
 };
 
+// TicToc is deliberately absent: it never writes a clean victim back
+// and leaves dirty victims resident on read misses, so the Table II
+// traffic signatures below do not apply to it (its policy invariants
+// live in tests/dcache_conformance_test.cpp). Banshee is page-grain
+// and likewise conformance-tested.
 const Design kAllCacheDesigns[] = {
     Design::CascadeLake, Design::Alloy, Design::Bear, Design::Ndc,
     Design::Tdram,       Design::TdramNoProbe, Design::Ideal,
@@ -389,6 +394,119 @@ TEST(Predictor, EarlyFetchOnPredictedMiss)
         h.drain();
     }
     EXPECT_GT(h.cache->predictedMiss.value(), 0.0);
+}
+
+TEST(Predictor, MispredictedHitCompletesOnceAndKeepsLineIntact)
+{
+    DcacheHarness h(Design::CascadeLake, 1, true);
+    // Train the PC hard towards miss.
+    const Addr pc = 0x400;
+    for (unsigned i = 0; i < 16; ++i) {
+        h.doAccess((0x100 + i) * lineBytes * 977, MemCmd::Read, pc);
+        h.drain();
+    }
+    // Plant a dirty resident line, then read it with the miss-trained
+    // PC: the predictor launches a wasted early fetch while the tag
+    // read resolves to hit-dirty.
+    const Addr line = 0x123 * 2 * lineBytes;
+    h.doAccess(line, MemCmd::Write, 0x999);
+    h.drain();
+    const double mm_writes_before = h.mm->writes.value();
+    const double wrong_before = h.cache->predictorWrongFetch.value();
+    MemPacket r = h.doAccess(line, MemCmd::Read, pc);
+    EXPECT_EQ(r.outcome, AccessOutcome::ReadHitDirty);
+    h.drain();  // the wasted fetch lands after the hit completed
+    EXPECT_GT(h.cache->predictorWrongFetch.value(), wrong_before);
+    // Ordering: the late mispredicted fill must not clobber the
+    // resident dirty line or trigger a spurious writeback...
+    EXPECT_EQ(h.mm->writes.value(), mm_writes_before);
+    MemPacket again = h.doAccess(line, MemCmd::Read, 0x998);
+    EXPECT_EQ(again.outcome, AccessOutcome::ReadHitDirty);
+    // ...and the eventual flush of that victim still happens exactly
+    // once, in demand order.
+    MemPacket evict =
+        h.doAccess(h.conflicting(line, 1), MemCmd::Write, 0x997);
+    EXPECT_EQ(evict.outcome, AccessOutcome::WriteMissDirty);
+    h.drain();
+    EXPECT_EQ(h.mm->writes.value(), mm_writes_before + 1.0);
+}
+
+TEST(Backpressure, ConflictBufferFullAppliesBackpressure)
+{
+    DcacheHarness h(Design::Tdram);
+    // Flood one set: the head transaction begins, everything else
+    // parks in the MSHR conflict FIFO (Table III: 32 entries).
+    unsigned completions = 0;
+    const unsigned n = 40;
+    for (unsigned i = 0; i < n; ++i) {
+        MemPacket pkt;
+        pkt.id = h.nextId++;
+        pkt.addr = h.conflicting(0x1000, i);
+        pkt.cmd = MemCmd::Read;
+        h.cache->access(pkt, [&](MemPacket &) { ++completions; });
+    }
+    MemPacket probe;
+    probe.addr = 0x2000;  // different set, empty channel queues
+    probe.cmd = MemCmd::Read;
+    EXPECT_FALSE(h.cache->canAccept(probe))
+        << "a full conflict buffer must push back on the LLC";
+    h.drain();
+    EXPECT_EQ(completions, n);
+    EXPECT_TRUE(h.cache->canAccept(probe));
+}
+
+TEST(Backpressure, AdmissionTracksTheDesignsInitialOp)
+{
+    // Fill channel 0's read queue (64 entries) with distinct-set
+    // demand reads: the first pops straight into issue on the idle
+    // channel, so 66 floods guarantee a full queue behind it.
+    auto flood_reads = [](DcacheHarness &h) {
+        for (unsigned i = 0; i < 66; ++i) {
+            MemPacket pkt;
+            pkt.id = h.nextId++;
+            // Even line index -> channel 0; skip the victim's set.
+            pkt.addr = Addr(2 + 2 * i) * lineBytes;
+            pkt.cmd = MemCmd::Read;
+            h.cache->access(pkt, [](MemPacket &) {});
+        }
+    };
+
+    // CascadeLake starts every demand — writes included — with a
+    // tag+data read, so a full read queue rejects writes too.
+    {
+        DcacheHarness h(Design::CascadeLake);
+        flood_reads(h);
+        MemPacket w;
+        w.addr = 200 * lineBytes;  // channel 0, untouched set
+        w.cmd = MemCmd::Write;
+        EXPECT_FALSE(h.cache->canAccept(w));
+        h.drain();
+        EXPECT_TRUE(h.cache->canAccept(w));
+    }
+
+    // TicToc elides the tag read for writes that cannot displace a
+    // dirty victim: those admit through the (empty) write queue even
+    // while the read queue is saturated. A write that WOULD displace
+    // a dirty victim still needs the tag read, and is rejected.
+    {
+        DcacheHarness h(Design::TicToc);
+        const Addr victim = 0x10000;  // line 1024: channel 0
+        h.doAccess(victim, MemCmd::Write);  // dirty resident
+        h.drain();
+        flood_reads(h);
+        MemPacket elided;
+        elided.addr = 200 * lineBytes;  // channel 0, cold set
+        elided.cmd = MemCmd::Write;
+        EXPECT_TRUE(h.cache->canAccept(elided))
+            << "elided write must not wait on the read queue";
+        MemPacket evicting;
+        evicting.addr = h.conflicting(victim, 1);  // dirty victim
+        evicting.cmd = MemCmd::Write;
+        EXPECT_FALSE(h.cache->canAccept(evicting))
+            << "dirty-evicting write still needs the tag read";
+        h.drain();
+        EXPECT_TRUE(h.cache->canAccept(evicting));
+    }
 }
 
 TEST(Conservation, EveryDemandCompletesOnce)

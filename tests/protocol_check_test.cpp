@@ -56,6 +56,8 @@ offlineDeviceOf(Design design)
       case Design::CascadeLake: return "cl";
       case Design::Alloy: return "alloy";
       case Design::Bear: return "bear";
+      case Design::TicToc: return "tictoc";
+      case Design::Banshee: return "banshee";
       default: return "";
     }
 }
@@ -115,7 +117,9 @@ INSTANTIATE_TEST_SUITE_P(
     AllDevicesAndPolicies, CleanRun,
     ::testing::Combine(::testing::Values(Design::Tdram,
                                          Design::CascadeLake,
-                                         Design::Ndc, Design::Alloy),
+                                         Design::Ndc, Design::Alloy,
+                                         Design::TicToc,
+                                         Design::Banshee),
                        ::testing::Values(PagePolicy::Close,
                                          PagePolicy::Open)),
     cleanRunName);

@@ -12,7 +12,8 @@
 #  4. Sharded repeatability: a --threads 2 run repeated, and --threads
 #     4, must reproduce the --threads 2 outputs byte for byte, with a
 #     second perturbation canary on the threaded trace.
-#  5. Sharded thread-invariance matrix: every device kind x page
+#  5. Sharded thread-invariance matrix: every device kind (the
+#     competitor controllers TicToc and Banshee included) x page
 #     policy must produce identical stats/CSV and .tdt traces at
 #     --threads 1, 2, and 4 with the protocol checker enabled
 #     (DESIGN.md §12: thread count only remaps shards to OS threads).
@@ -130,7 +131,7 @@ grep -q "first divergence" "$WORK/t_canary.out" || {
 }
 
 echo "=== [5/6] sharded thread-invariance matrix (with --check) ==="
-for design in CascadeLake Alloy NDC TDRAM; do
+for design in CascadeLake Alloy NDC TDRAM TicToc Banshee; do
     for page in "" "--open-page"; do
         for n in 1 2 4; do
             "$CLI" run is.C "$design" --ops 1500 --csv --stats \

@@ -36,9 +36,15 @@ for san in "${sanitizers[@]}"; do
         tsan)
             TSAN_OPTIONS="halt_on_error=1" \
                 "./build-$san/tests/tdram_tests" \
-                --gtest_filter='SweepRunner*:*ChannelStress*:*ChannelSched*:*Shard*'
+                --gtest_filter='SweepRunner*:*ChannelStress*:*ChannelSched*:*Shard*:*Conformance*'
             TSAN_OPTIONS="halt_on_error=1" \
                 "./build-$san/examples/tdram_cli" run is.C TDRAM \
+                --ops 1500 --csv --check --threads 4 > /dev/null
+            TSAN_OPTIONS="halt_on_error=1" \
+                "./build-$san/examples/tdram_cli" run is.C TicToc \
+                --ops 1500 --csv --check --threads 4 > /dev/null
+            TSAN_OPTIONS="halt_on_error=1" \
+                "./build-$san/examples/tdram_cli" run is.C Banshee \
                 --ops 1500 --csv --check --threads 4 > /dev/null
             ;;
         asan)

@@ -52,6 +52,27 @@ TEST(System, ReportFieldsConsistent)
     EXPECT_GT(r.energy.totalJ(), 0.0);
 }
 
+TEST(System, PredictorAccuracyAbsentWithoutPredictor)
+{
+    // A controller that never ran a predictor must report the metric
+    // as absent — JSON null — not as a misleading 0.0 accuracy.
+    SimReport r = runOne(tinyCfg(Design::CascadeLake),
+                         findWorkload("is.C"));
+    EXPECT_FALSE(r.predictorPresent);
+    EXPECT_NE(reportJson(r).find("\"predictor_accuracy\": null"),
+              std::string::npos);
+
+    SystemConfig cfg = tinyCfg(Design::CascadeLake);
+    cfg.predictor = true;
+    SimReport p = runOne(cfg, findWorkload("is.C"));
+    EXPECT_TRUE(p.predictorPresent);
+    EXPECT_GT(p.predictorAccuracy, 0.0);
+    EXPECT_EQ(reportJson(p).find("\"predictor_accuracy\": null"),
+              std::string::npos);
+    EXPECT_NE(reportJson(p).find("\"predictor_accuracy\": "),
+              std::string::npos);
+}
+
 TEST(System, MainMemorySizedToFootprint)
 {
     // A >1x-footprint workload forces the backing store to grow.
